@@ -1,0 +1,188 @@
+// Command constsim runs the discrete-event simulations: the OAQ/BAQ
+// protocol over a degraded orbital plane, and the long-horizon plane-
+// capacity process under failures and deployment policies.
+//
+// Usage:
+//
+//	constsim -mode protocol -k 10 -scheme oaq -episodes 50000
+//	constsim -mode capacity -eta 10 -lambda 5e-5 -periods 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"satqos/internal/capacity"
+	"satqos/internal/crosslink"
+	"satqos/internal/des"
+	"satqos/internal/membership"
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "constsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("constsim", flag.ContinueOnError)
+	mode := fs.String("mode", "protocol", "simulation mode: protocol | capacity | membership")
+	k := fs.Int("k", 10, "plane capacity (protocol mode)")
+	schemeName := fs.String("scheme", "oaq", "scheme: oaq | baq")
+	episodes := fs.Int("episodes", 20000, "signal episodes (protocol mode)")
+	tau := fs.Float64("tau", 5, "alert deadline τ (minutes)")
+	mu := fs.Float64("mu", 0.5, "signal termination rate µ (1/min)")
+	nu := fs.Float64("nu", 30, "computation completion rate ν (1/min)")
+	backward := fs.Bool("backward", false, "enable backward (coordination-done) messaging")
+	failSilent := fs.Float64("failsilent", 0, "per-peer fail-silent probability")
+	eta := fs.Int("eta", 10, "threshold capacity η (capacity mode)")
+	lambda := fs.Float64("lambda", 5e-5, "per-satellite failure rate λ (1/hour, capacity mode)")
+	phi := fs.Float64("phi", 30000, "scheduled-deployment period φ (hours, capacity mode)")
+	periods := fs.Int("periods", 200, "simulated deployment periods (capacity mode)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "protocol":
+		var scheme qos.Scheme
+		switch strings.ToLower(*schemeName) {
+		case "oaq":
+			scheme = qos.SchemeOAQ
+		case "baq":
+			scheme = qos.SchemeBAQ
+		default:
+			return fmt.Errorf("unknown scheme %q", *schemeName)
+		}
+		p := oaq.ReferenceParams(*k, scheme)
+		p.TauMin = *tau
+		p.SignalDuration = stats.Exponential{Rate: *mu}
+		p.ComputeTime = stats.Exponential{Rate: *nu}
+		p.BackwardMessaging = *backward
+		p.FailSilentProb = *failSilent
+		ev, err := oaq.Evaluate(p, *episodes, stats.NewRNG(*seed, 0))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%v protocol, k=%d, τ=%g, µ=%g, ν=%g, %d episodes\n",
+			scheme, *k, *tau, *mu, *nu, *episodes)
+		for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
+			p := ev.PMF[y]
+			ci := 1.96 * math.Sqrt(p*(1-p)/float64(ev.Episodes))
+			fmt.Fprintf(w, "  P(Y=%d %-18s) = %.4f ± %.4f\n", int(y), y.String(), p, ci)
+		}
+		fmt.Fprintf(w, "  delivered by deadline: %.4f of episodes (detected: %.4f)\n",
+			ev.DeliveredFraction, ev.DetectedFraction)
+		fmt.Fprintf(w, "  mean chain length %.3f, mean messages %.2f, mean delivery latency %.3f min\n",
+			ev.MeanChainLength, ev.MeanMessages, ev.MeanDeliveryLatency)
+		fmt.Fprintf(w, "  terminations:")
+		for term, n := range ev.Terminations {
+			fmt.Fprintf(w, " %v=%d", term, n)
+		}
+		fmt.Fprintln(w)
+		return nil
+
+	case "capacity":
+		p := capacity.ReferenceParams(*eta, *lambda, *phi)
+		ana, err := p.Analytic()
+		if err != nil {
+			return err
+		}
+		sim, err := p.Simulate(float64(*periods)**phi, stats.NewRNG(*seed, 0))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "plane capacity, η=%d, λ=%g/h, φ=%g h, %d periods simulated\n",
+			*eta, *lambda, *phi, *periods)
+		fmt.Fprintf(w, "  %-4s %-10s %-10s\n", "k", "analytic", "simulated")
+		for kk := *eta; kk <= 14; kk++ {
+			fmt.Fprintf(w, "  %-4d %-10.4f %-10.4f\n", kk, ana.P(kk), sim.P(kk))
+		}
+		fmt.Fprintf(w, "  mean capacity: analytic %.3f, simulated %.3f\n", ana.Mean(), sim.Mean())
+		return nil
+
+	case "membership":
+		return runMembership(w, *k, *seed)
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// runMembership demonstrates the §5 follow-on: a plane of satellites
+// maintaining an agreed membership view over crosslinks while peers
+// fail and recover.
+func runMembership(w io.Writer, k int, seed uint64) error {
+	if k < 3 {
+		return fmt.Errorf("membership demo needs at least 3 satellites, got %d", k)
+	}
+	sim := &des.Simulation{}
+	net, err := crosslink.NewNetwork(sim, crosslink.Config{MaxDelayMin: 0.01}, stats.NewRNG(seed, 0))
+	if err != nil {
+		return err
+	}
+	candidates := make([]crosslink.NodeID, k)
+	for i := range candidates {
+		candidates[i] = crosslink.NodeID(i + 1)
+	}
+	group, err := membership.NewGroup(sim, net, candidates, membership.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	group.Start()
+	fmt.Fprintf(w, "membership over a %d-satellite plane (round 0.1 min, suspect 0.35 min, δ=0.01 min)\n", k)
+
+	report := func(label string) error {
+		v, err := group.ViewOf(candidates[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  t=%6.2f  %-28s observer view: %v\n", sim.Now(), label, v)
+		return nil
+	}
+	sim.Run(2)
+	if err := report("steady state"); err != nil {
+		return err
+	}
+	victim := candidates[k/2]
+	if err := group.Fail(victim); err != nil {
+		return err
+	}
+	sim.Run(8)
+	if err := report(fmt.Sprintf("satellite %d fail-silent", victim)); err != nil {
+		return err
+	}
+	if err := group.Recover(victim); err != nil {
+		return err
+	}
+	sim.Run(16)
+	if err := report(fmt.Sprintf("satellite %d recovered", victim)); err != nil {
+		return err
+	}
+	// Agreement check across all live members.
+	ref, err := group.ViewOf(candidates[0])
+	if err != nil {
+		return err
+	}
+	for _, id := range candidates[1:] {
+		v, err := group.ViewOf(id)
+		if err != nil {
+			return err
+		}
+		if !v.Equal(ref) {
+			return fmt.Errorf("view disagreement: node %d has %v, node %d has %v", id, v, candidates[0], ref)
+		}
+	}
+	fmt.Fprintf(w, "  all %d members agree on the final view\n", k)
+	fmt.Fprintf(w, "  crosslink traffic: %d messages sent, %d delivered\n", net.Stats().Sent, net.Stats().Delivered)
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtocolMode(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-mode", "protocol", "-k", "10", "-episodes", "2000", "-scheme", "oaq"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"OAQ protocol", "P(Y=2", "delivered by deadline", "terminations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolModeBAQ(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "protocol", "-k", "12", "-episodes", "1000", "-scheme", "baq"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "BAQ protocol") {
+		t.Errorf("output missing BAQ header:\n%s", b.String())
+	}
+}
+
+func TestCapacityMode(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-mode", "capacity", "-eta", "12", "-lambda", "5e-5", "-periods", "20"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"plane capacity", "analytic", "simulated", "mean capacity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMembershipMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "membership", "-k", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"membership over a 8-satellite plane", "fail-silent", "recovered", "agree on the final view"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "bogus"}, &b); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "protocol", "-scheme", "bogus"}, &b); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-mode", "membership", "-k", "2"}, &b); err == nil {
+		t.Error("tiny membership group accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Command coverage analyzes the reference constellation's geometry: the
+// Tc/Tr[k] table driving the analytic model, per-capacity
+// overlap/underlap classification, and an ASCII coverage map of the
+// globe (the textual counterpart of the paper's Figure 1).
+//
+// Usage:
+//
+//	coverage            # geometry table + coverage map at t=0
+//	coverage -t 45      # map at t=45 minutes
+//	coverage -fail 6    # after 6 failures in plane 0 (k drops to 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"satqos/internal/constellation"
+	"satqos/internal/orbit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	at := fs.Float64("t", 0, "snapshot time (minutes)")
+	failures := fs.Int("fail", 0, "failures to inject into plane 0 before the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := constellation.New(constellation.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	plane, err := c.Plane(0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *failures; i++ {
+		if err := plane.FailActive(); err != nil {
+			return fmt.Errorf("injecting failure %d: %w", i+1, err)
+		}
+	}
+
+	orbits := plane.ActiveOrbits()
+	o := orbits[0]
+	fp := plane.Footprint()
+	fmt.Fprintf(w, "Reference constellation: %d planes, %d active satellites (plane 0: k=%d, spares=%d)\n",
+		c.Planes(), c.ActiveSatellites(), plane.ActiveCount(), plane.SpareCount())
+	fmt.Fprintf(w, "  period θ=%.1f min  altitude %.0f km  footprint half-angle %.1f°  radius %.0f km\n",
+		o.PeriodMin, o.AltitudeKm(), fp.HalfAngle*180/3.141592653589793, fp.RadiusKm())
+	fmt.Fprintf(w, "  coverage time Tc=%.2f min  revisit Tr[k]=%.2f min  regime: %s\n",
+		fp.MaxCoverageTime(o), plane.RevisitTime(), regime(plane))
+
+	fmt.Fprintf(w, "\n  k    Tr[k](min)  L2[k](min)  regime\n")
+	for k := 9; k <= 14; k++ {
+		tr := plane.RevisitTimeAt(k)
+		l2 := tr - 9
+		if l2 < 0 {
+			l2 = -l2
+		}
+		reg := "underlap"
+		if tr < 9 {
+			reg = "overlap"
+		}
+		fmt.Fprintf(w, "  %-4d %-11.3f %-11.3f %s\n", k, tr, l2, reg)
+	}
+
+	fmt.Fprintf(w, "\nCoverage map at t=%.1f min ('.'=0, digits=multiplicity):\n", *at)
+	for lat := 80.0; lat >= -80; lat -= 8 {
+		fmt.Fprintf(w, "%+4.0f ", lat)
+		for lon := -180.0; lon < 180; lon += 5 {
+			target, err := orbit.FromDegrees(lat, lon)
+			if err != nil {
+				return err
+			}
+			n := c.SimultaneousCoverageCount(target, *at)
+			switch {
+			case n == 0:
+				fmt.Fprint(w, ".")
+			case n > 9:
+				fmt.Fprint(w, "+")
+			default:
+				fmt.Fprintf(w, "%d", n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func regime(p *constellation.Plane) string {
+	if p.Overlapping() {
+		return "overlapping footprints"
+	}
+	return "underlapping footprints"
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverageDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"98 active satellites", "k=14", "overlapping footprints",
+		"Tr[k]", "Coverage map",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The full constellation leaves no uncovered cells ('.') in the map
+	// body (which starts after the header line containing the legend).
+	mapStart := strings.Index(out, "Coverage map")
+	body := out[mapStart:]
+	if nl := strings.IndexByte(body, '\n'); nl >= 0 {
+		body = body[nl+1:]
+	}
+	if strings.Contains(body, ".") {
+		t.Error("full constellation shows uncovered cells")
+	}
+}
+
+func TestCoverageWithFailures(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fail", "6", "-t", "12"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "k=10") {
+		t.Errorf("degraded plane not reflected:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "underlapping footprints") {
+		t.Error("k=10 should be reported as underlapping")
+	}
+}
+
+func TestCoverageErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fail", "100"}, &b); err == nil {
+		t.Error("failing more satellites than exist accepted")
+	}
+	if err := run([]string{"-junk"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

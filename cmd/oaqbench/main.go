@@ -1,0 +1,342 @@
+// Command oaqbench regenerates every table and figure of the paper's
+// evaluation (Tai et al., DSN 2003, §4.3) from the analytic model, plus
+// this repository's validation experiments.
+//
+// Usage:
+//
+//	oaqbench -exp all                 # every experiment, text tables
+//	oaqbench -exp fig9 -csv           # one experiment as CSV
+//	oaqbench -exp fig8 -svg figures/  # also render an SVG chart
+//	oaqbench -exp simvsana -episodes 50000
+//
+// Paper experiments: table1, fig7, fig8, fig9, spot, tau, duration.
+// Validations: simvsana, geometry, capacity, coverage.
+// Extensions: scaling, ablation-backward, ablation-constants,
+// ablation-tc1, membership, sensitivity, mission. Use -exp all for
+// everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"satqos/internal/experiment"
+	"satqos/internal/mission"
+	"satqos/internal/numeric"
+	"satqos/internal/plot"
+	"satqos/internal/qos"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oaqbench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp      string
+	csv      bool
+	svgDir   string
+	episodes int
+	seed     uint64
+	eta      int
+	phi      float64
+	lambdas  []float64
+}
+
+// writeSVG renders a sweep as an SVG chart into the -svg directory.
+// Series whose names start with "BAQ" or "no-backward" are dashed, so
+// the scheme comparison reads like the paper's figures.
+func (o options) writeSVG(id string, s *experiment.Sweep) error {
+	if o.svgDir == "" {
+		return nil
+	}
+	chart := &plot.Chart{
+		Title:  s.Title,
+		XLabel: s.XLabel,
+		YLabel: "probability",
+		YFixed: true, YMin: 0, YMax: 1,
+	}
+	allProb := true
+	for _, ser := range s.Series {
+		dashed := strings.HasPrefix(ser.Name, "BAQ") || strings.HasPrefix(ser.Name, "no-backward")
+		chart.Series = append(chart.Series, plot.Series{
+			Name: ser.Name, X: s.X, Y: ser.Values, Dashed: dashed,
+		})
+		for _, v := range ser.Values {
+			if v < 0 || v > 1 {
+				allProb = false
+			}
+		}
+	}
+	if !allProb {
+		chart.YFixed = false
+		chart.YLabel = "value"
+	}
+	path := filepath.Join(o.svgDir, id+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chart.Render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("oaqbench", flag.ContinueOnError)
+	opt := options{}
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|all)")
+	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned text")
+	fs.StringVar(&opt.svgDir, "svg", "", "also write sweep experiments as SVG charts into this directory")
+	fs.IntVar(&opt.episodes, "episodes", 20000, "episodes per cell for simulation experiments")
+	seed := fs.Uint64("seed", 2003, "random seed for simulation experiments")
+	fs.IntVar(&opt.eta, "eta", 10, "threshold capacity for fig7/capacity")
+	fs.Float64Var(&opt.phi, "phi", 30000, "scheduled-deployment period (hours)")
+	lambdaList := fs.String("lambdas", "", "comma-separated failure rates (default: the paper's 1e-5..1e-4 grid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt.seed = *seed
+	if *lambdaList != "" {
+		for _, tok := range strings.Split(*lambdaList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad -lambdas entry %q: %w", tok, err)
+			}
+			opt.lambdas = append(opt.lambdas, v)
+		}
+	}
+
+	ids := []string{opt.exp}
+	if opt.exp == "all" {
+		ids = []string{
+			"table1", "geometry", "capacity", "fig7", "fig8", "fig9", "spot",
+			"tau", "duration", "simvsana", "coverage",
+			"scaling", "ablation-backward", "ablation-constants", "ablation-tc1", "membership", "sensitivity", "mission", "availability",
+		}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := runOne(id, opt, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(id string, opt options, w io.Writer) error {
+	render := func(t *experiment.Table) error {
+		if opt.csv {
+			return t.RenderCSV(w)
+		}
+		return t.Render(w)
+	}
+	switch id {
+	case "table1":
+		return render(experiment.Table1())
+	case "fig7":
+		s, err := experiment.Figure7(opt.lambdas, opt.eta, opt.phi)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("fig7", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "fig8":
+		s, err := experiment.Figure8(opt.lambdas)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("fig8", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "fig9":
+		s, err := experiment.Figure9(opt.lambdas)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("fig9", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "spot":
+		t, err := experiment.Section43Spot()
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case "tau":
+		s, err := experiment.TauSweep(nil, 5e-5)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("tau", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "duration":
+		s, err := experiment.DurationSweep(nil, 5e-5)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("duration", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "simvsana":
+		t, worst, err := experiment.SimVsAnalytic(nil, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "max |simulated - analytic| = %.4f\n", worst)
+		return err
+	case "geometry":
+		t, err := experiment.GeometryCheck()
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case "capacity":
+		lambda := 5e-5
+		if len(opt.lambdas) > 0 {
+			lambda = opt.lambdas[0]
+		}
+		t, worst, err := experiment.CapacityRouteCheck(opt.eta, lambda, opt.phi, 0, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "max |analytic - SAN| = %.2e\n", worst)
+		return err
+	case "scaling":
+		s, err := experiment.PicoScaling(nil, nil, 5, 0.5, 30)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("scaling", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "ablation-backward":
+		s, err := experiment.AblationBackwardMessaging(nil, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("ablation-backward", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "ablation-constants":
+		s, err := experiment.AblationProtocolConstants(nil, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("ablation-constants", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "ablation-tc1":
+		s, err := experiment.AblationTC1(nil, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("ablation-tc1", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "membership":
+		s, err := experiment.MembershipLatency(nil, 30, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("membership", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "sensitivity":
+		t, err := experiment.DistributionSensitivity(5)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case "availability":
+		s, err := experiment.ConstellationAvailability(opt.lambdas, opt.eta, opt.phi, nil)
+		if err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "mission":
+		return runMission(opt, w)
+	case "coverage":
+		covered, mult, err := experiment.FullEarthCoverage(6, 10, numeric.Linspace(0, 60, 4))
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "Full-constellation earth coverage: %.2f%% of sampled points covered, mean multiplicity %.2f\n",
+			100*covered, mult)
+		return err
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+// runMission executes the 3-D end-to-end mission for both schemes on
+// the same seed and tabulates QoS shares with realized accuracy.
+func runMission(opt options, w io.Writer) error {
+	t := &experiment.Table{
+		Title: "3-D mission: QoS level shares and realized accuracy (24 h, 25-35N band)",
+		Columns: []string{
+			"scheme", "detected", "P(Y=3)", "P(Y=2)", "P(Y=1)", "P(Y=0)",
+			"err@3 (km)", "err@1 (km)",
+		},
+		Notes: []string{"same workload seed for both schemes"},
+	}
+	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+		cfg := mission.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Seed = opt.seed
+		cfg.SignalRatePerMin = 0.05
+		rep, err := mission.Run(cfg, 24*60)
+		if err != nil {
+			return err
+		}
+		cell := func(level qos.Level) string {
+			if v, ok := rep.MeanRealizedErrorKm[level]; ok {
+				return fmt.Sprintf("%.2f", v)
+			}
+			return "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			scheme.String(),
+			fmt.Sprintf("%.3f", rep.DetectedFraction),
+			fmt.Sprintf("%.3f", rep.PMF[qos.LevelSimultaneousDual]),
+			fmt.Sprintf("%.3f", rep.PMF[qos.LevelSequentialDual]),
+			fmt.Sprintf("%.3f", rep.PMF[qos.LevelSingle]),
+			fmt.Sprintf("%.3f", rep.PMF[qos.LevelMiss]),
+			cell(qos.LevelSimultaneousDual),
+			cell(qos.LevelSingle),
+		})
+	}
+	if opt.csv {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string][]string{
+		"table1":   {"QoS levels", "overlap"},
+		"geometry": {"90.0000", "9.0000"},
+		"capacity": {"analytic", "SAN renewal"},
+		"fig7":     {"P(K=10)", "P(K=14)"},
+		"fig8":     {"OAQ (mu=0.2)", "BAQ (mu=0.5)"},
+		"fig9":     {"OAQ y>=2", "BAQ y>=1"},
+		"spot":     {"0.4444", "0.2000"},
+		"tau":      {"tau(min)"},
+		"duration": {"mean-duration(min)"},
+		"scaling":  {"OAQ N=112"},
+		"sensitivity": {
+			"exp dur / exp comp (paper)", "bursty-H2",
+		},
+		"availability": {"P(total>=98)", "MTTA(hrs)"},
+	}
+	for exp, wants := range cases {
+		exp, wants := exp, wants
+		t.Run(exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run([]string{"-exp", exp}, &b); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+			for _, want := range wants {
+				if !strings.Contains(b.String(), want) {
+					t.Errorf("%s output missing %q:\n%s", exp, want, b.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig9", "-csv", "-lambdas", "1e-5,1e-4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "lambda(/hr),") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 { // header + 2 rows
+		t.Errorf("CSV rows = %d, want 3 lines", strings.Count(out, "\n"))
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig8", "-svg", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8.svg"))
+	if err != nil {
+		t.Fatalf("SVG not written: %v", err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("not an SVG document")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "nonsense"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-lambdas", "abc"}, &b); err == nil {
+		t.Error("bad lambda list accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSimulationExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short mode")
+	}
+	for _, exp := range []string{"simvsana", "ablation-backward", "ablation-tc1"} {
+		var b strings.Builder
+		if err := run([]string{"-exp", exp, "-episodes", "500"}, &b); err != nil {
+			t.Fatalf("run(%s): %v", exp, err)
+		}
+		if len(b.String()) == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command oaqtrace prints full event timelines of OAQ/BAQ protocol
+// episodes: detections, computations, coordination requests, done
+// propagation, timeouts, and alert deliveries — the executable
+// counterpart of the paper's Figure 3 snapshots.
+//
+// Usage:
+//
+//	oaqtrace                       # one episode, k=10, OAQ
+//	oaqtrace -k 12 -scheme baq     # overlapping plane, baseline scheme
+//	oaqtrace -level 2 -episodes 50 # first episode reaching level 2
+//	oaqtrace -failsilent 1 -backward  # watch the Figure-4 timeout path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oaqtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("oaqtrace", flag.ContinueOnError)
+	k := fs.Int("k", 10, "plane capacity")
+	schemeName := fs.String("scheme", "oaq", "scheme: oaq | baq")
+	tau := fs.Float64("tau", 5, "alert deadline τ (minutes)")
+	mu := fs.Float64("mu", 0.5, "signal termination rate µ (1/min)")
+	nu := fs.Float64("nu", 30, "computation completion rate ν (1/min)")
+	level := fs.Int("level", -1, "only print the first episode achieving this QoS level (-1: first detected)")
+	episodes := fs.Int("episodes", 200, "episodes to search")
+	backward := fs.Bool("backward", false, "enable backward (coordination-done) messaging")
+	failSilent := fs.Float64("failsilent", 0, "per-peer fail-silent probability")
+	seed := fs.Uint64("seed", 7, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scheme qos.Scheme
+	switch strings.ToLower(*schemeName) {
+	case "oaq":
+		scheme = qos.SchemeOAQ
+	case "baq":
+		scheme = qos.SchemeBAQ
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	p := oaq.ReferenceParams(*k, scheme)
+	p.TauMin = *tau
+	p.SignalDuration = stats.Exponential{Rate: *mu}
+	p.ComputeTime = stats.Exponential{Rate: *nu}
+	p.BackwardMessaging = *backward
+	p.FailSilentProb = *failSilent
+
+	rng := stats.NewRNG(*seed, 0)
+	for i := 0; i < *episodes; i++ {
+		res, events, err := oaq.RunEpisodeTraced(p, rng)
+		if err != nil {
+			return err
+		}
+		if !res.Detected {
+			continue
+		}
+		if *level >= 0 && int(res.Level) != *level {
+			continue
+		}
+		fmt.Fprintf(w, "%v episode on a k=%d plane (τ=%g, µ=%g, ν=%g, backward=%v)\n",
+			scheme, *k, *tau, *mu, *nu, *backward)
+		fmt.Fprintf(w, "outcome: level=%v delivered=%v latency=%.3f chain=%d messages=%d termination=%v\n\n",
+			res.Level, res.Delivered, res.DeliveryLatency, res.ChainLength, res.MessagesSent, res.Termination)
+		for _, ev := range events {
+			fmt.Fprintln(w, " ", ev)
+		}
+		return nil
+	}
+	return fmt.Errorf("no matching episode in %d tries (level filter %d)", *episodes, *level)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"OAQ episode", "detection", "alert-sent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceLevelFilter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-level", "2", "-episodes", "300"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "level=sequential-dual") {
+		t.Errorf("level filter not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "request-sent") {
+		t.Error("sequential episode without coordination request")
+	}
+}
+
+func TestTraceFailSilentBackward(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-failsilent", "1", "-backward", "-level", "1", "-episodes", "300"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "timeout") {
+		t.Errorf("Figure-4 path should show a wait timeout:\n%s", out)
+	}
+}
+
+func TestTraceBAQOverlap(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-k", "12", "-scheme", "baq", "-level", "3", "-episodes", "300"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "level=simultaneous-dual") {
+		t.Errorf("BAQ level-3 episode not found:\n%s", b.String())
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scheme", "bogus"}, &b); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	// Level 3 is unreachable on an underlapping plane: the search must
+	// fail loudly rather than loop.
+	if err := run([]string{"-k", "10", "-level", "3", "-episodes", "20"}, &b); err == nil {
+		t.Error("impossible level filter found a match")
+	}
+	if err := run([]string{"-zzz"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

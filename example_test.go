@@ -1,0 +1,96 @@
+package satqos_test
+
+import (
+	"fmt"
+
+	"satqos"
+)
+
+// The paper's §4.3 spot check: the conditional probability of a
+// simultaneous-dual-coverage result on a plane with 12 active
+// satellites, under OAQ and the BAQ baseline.
+func ExampleNewAnalyticModel() {
+	model, err := satqos.NewAnalyticModel(satqos.ReferenceGeometry(), 5, 0.5, 30)
+	if err != nil {
+		panic(err)
+	}
+	oaq, err := model.ConditionalPMF(satqos.SchemeOAQ, 12)
+	if err != nil {
+		panic(err)
+	}
+	baq, err := model.ConditionalPMF(satqos.SchemeBAQ, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OAQ P(Y=3|12) = %.4f\n", oaq[satqos.LevelSimultaneousDual])
+	fmt.Printf("BAQ P(Y=3|12) = %.4f\n", baq[satqos.LevelSimultaneousDual])
+	// Output:
+	// OAQ P(Y=3|12) = 0.4444
+	// BAQ P(Y=3|12) = 0.2000
+}
+
+// The plane-capacity distribution under the paper's deployment policies
+// (Figure 7's λ = 1e-4 column): the threshold capacity dominates at
+// high failure rates.
+func ExamplePlaneCapacity() {
+	dist, err := satqos.PlaneCapacity(10, 1e-4, 30000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(K=10) = %.4f\n", dist.P(10))
+	fmt.Printf("P(K=14) = %.4f\n", dist.P(14))
+	fmt.Printf("E[K]    = %.2f\n", dist.Mean())
+	// Output:
+	// P(K=10) = 0.8448
+	// P(K=14) = 0.0714
+	// E[K]    = 10.45
+}
+
+// Eq. (3): composing the conditional model with the plane-capacity
+// distribution yields the paper's QoS measure P(Y >= y).
+func ExampleAnalyticModel_Measure() {
+	model, err := satqos.NewAnalyticModel(satqos.ReferenceGeometry(), 5, 0.2, 30)
+	if err != nil {
+		panic(err)
+	}
+	dist, err := satqos.PlaneCapacity(10, 1e-5, 30000)
+	if err != nil {
+		panic(err)
+	}
+	for _, scheme := range []satqos.Scheme{satqos.SchemeOAQ, satqos.SchemeBAQ} {
+		v, err := model.Measure(scheme, dist, satqos.LevelSequentialDual)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v P(Y>=2) = %.4f\n", scheme, v)
+	}
+	// Output:
+	// OAQ P(Y>=2) = 0.7467
+	// BAQ P(Y>=2) = 0.3288
+}
+
+// Running the actual distributed protocol: one deterministic episode on
+// a degraded, underlapping plane.
+func ExampleRunEpisode() {
+	params := satqos.ReferenceProtocolParams(10, satqos.SchemeOAQ)
+	res, err := satqos.RunEpisode(params, satqos.NewRNG(42, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("level=%v delivered=%v chain=%d\n", res.Level, res.Delivered, res.ChainLength)
+	// Output:
+	// level=single-coverage delivered=true chain=1
+}
+
+// Table 1 of the paper, regenerated.
+func ExampleTable1() {
+	tab := satqos.Table1()
+	fmt.Println(tab.Columns[0], "|", tab.Columns[1])
+	for _, row := range tab.Rows {
+		fmt.Println(row[0], "|", row[1])
+	}
+	// Output:
+	// I[k] | Y=3 simultaneous dual
+	// 1 (overlap) | yes
+	// 0 (underlap) | -
+}

@@ -1,0 +1,87 @@
+// Failover: watch an orbital plane degrade and recover.
+//
+// It drives the reference constellation through a failure history,
+// showing the structural-degradation mechanics of §2 — in-orbit spares
+// absorbing the first failures, phasing adjustments stretching the
+// revisit time, the footprint regime flipping from overlap to underlap —
+// and then simulates the long-horizon capacity process to compare the
+// observed time-at-capacity against the analytic P(k) of §4.2.2.
+//
+//	go run ./examples/failover [-lambda 1e-4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"satqos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("failover: ")
+	lambda := flag.Float64("lambda", 1e-4, "per-satellite failure rate (1/hour)")
+	flag.Parse()
+
+	// Part 1: structural degradation, one failure at a time.
+	c, err := satqos.NewConstellation(satqos.DefaultConstellationConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plane, err := c.Plane(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plane 0 degradation history:")
+	fmt.Printf("  %-9s %-3s %-7s %-10s %-10s %s\n", "failure#", "k", "spares", "Tr[k](min)", "L2[k](min)", "regime")
+	printState := func(n int) {
+		tr := plane.RevisitTime()
+		l2 := tr - 9
+		if l2 < 0 {
+			l2 = -l2
+		}
+		regime := "underlap"
+		if plane.Overlapping() {
+			regime = "overlap"
+		}
+		fmt.Printf("  %-9d %-3d %-7d %-10.3f %-10.3f %s\n",
+			n, plane.ActiveCount(), plane.SpareCount(), tr, l2, regime)
+	}
+	printState(0)
+	for i := 1; i <= 6; i++ {
+		if err := plane.FailActive(); err != nil {
+			log.Fatal(err)
+		}
+		printState(i)
+	}
+	fmt.Printf("  spare swaps %d, phasing adjustments %d\n",
+		plane.SpareSwaps(), plane.PhasingAdjustments())
+
+	// Threshold-triggered ground-spare deployment restores the plane.
+	if plane.AtThreshold(10) {
+		plane.RestoreFull()
+		fmt.Printf("  threshold η=10 reached → ground-spare deployment → k=%d, spares=%d\n",
+			plane.ActiveCount(), plane.SpareCount())
+	}
+
+	// Part 2: long-horizon capacity process vs the analytic model.
+	fmt.Printf("\nTime-at-capacity over 100 deployment periods at λ=%g/h (η=10, φ=30000 h):\n", *lambda)
+	params := satqos.CapacityParams{
+		ActivePerPlane: 14, Spares: 2, Eta: 10,
+		LambdaPerHour: *lambda, PhiHours: 30000,
+	}
+	ana, err := params.Analytic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := params.Simulate(100*params.PhiHours, satqos.NewRNG(7, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-4s %-10s %-10s\n", "k", "analytic", "simulated")
+	for k := 10; k <= 14; k++ {
+		fmt.Printf("  %-4d %-10.4f %-10.4f\n", k, ana.P(k), sim.P(k))
+	}
+	fmt.Printf("  mean capacity: analytic %.3f, simulated %.3f\n", ana.Mean(), sim.Mean())
+}

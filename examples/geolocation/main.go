@@ -1,0 +1,133 @@
+// Geolocation: sequential localization accuracy per coverage class.
+//
+// It demonstrates the assumption the whole paper rests on — that
+// accuracy improves as coverage improves — with the actual Doppler
+// estimator: a single pass, a sequential dual (second satellite in the
+// same plane revisiting the target, fused through the prior — exactly
+// the payload of an OAQ coordination request), and a simultaneous dual
+// (adjacent-plane satellite covering the target at the same time).
+//
+//	go run ./examples/geolocation [-trials 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"satqos"
+)
+
+const (
+	carrierHz = 450e6
+	noiseHz   = 1.0
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geolocation: ")
+	trials := flag.Int("trials", 30, "Monte-Carlo trials per coverage class")
+	flag.Parse()
+
+	cfg := satqos.DefaultConstellationConfig()
+	c, err := satqos.NewConstellation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plane0, err := c.Plane(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plane1, err := c.Plane(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orbitsP0 := plane0.ActiveOrbits()
+	orbitsP1 := plane1.ActiveOrbits()
+	// Truth: the sub-satellite point of plane-0 satellite 0 at t = 2 min
+	// (mid-pass).
+	truth := orbitsP0[0].SubSatellite(2)
+	lat, lon := truth.Deg()
+	fmt.Printf("emitter truth: %.2f°N %.2f°E, carrier %.0f MHz, noise %.1f Hz\n",
+		lat, lon, carrierHz/1e6, noiseHz)
+
+	sensor := satqos.GeoSensor{CarrierHz: carrierHz, NoiseHz: noiseHz}
+	est := satqos.GeoEstimator{}
+	rng := satqos.NewRNG(2024, 0)
+
+	classes := []string{"single pass", "sequential dual", "simultaneous dual"}
+	sums := make([]float64, len(classes))
+	estErr := make([]float64, len(classes))
+	for trial := 0; trial < *trials; trial++ {
+		// Initial guess: tens of km off.
+		guess, err := satqos.FromDegrees(lat+0.3, lon-0.35)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Class 0: single pass of plane-0 satellite 0.
+		m1 := observe(sensor, orbitsP0[0], truth, 0, 4, rng)
+		single, err := est.Solve(m1, guess, carrierHz-200, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sums[0] += single.DistanceKm(truth)
+		estErr[0] += single.ErrorKm()
+
+		// Class 1: the next satellite in plane 0 revisits Tr = 90/14 min
+		// later and fuses the first estimate as its prior.
+		tr := plane0.RevisitTime()
+		m2 := observe(sensor, orbitsP0[len(orbitsP0)-1], truth, tr, tr+4, rng)
+		seq, err := est.Solve(m2, single.Position, single.FreqHz, &single)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sums[1] += seq.DistanceKm(truth)
+		estErr[1] += seq.ErrorKm()
+
+		// Class 2: a plane-1 satellite observes the same window —
+		// simultaneous dual coverage with cross-track diversity.
+		best, bestSep := 0, math.Inf(1)
+		for i, o := range orbitsP1 {
+			if sep := angularSep(o, truth, 2); sep < bestSep {
+				best, bestSep = i, sep
+			}
+		}
+		m3 := observe(sensor, orbitsP1[best], truth, 0, 4, rng)
+		dual, err := est.Solve(append(append([]satqos.GeoMeasurement{}, m1...), m3...), guess, carrierHz-200, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sums[2] += dual.DistanceKm(truth)
+		estErr[2] += dual.ErrorKm()
+	}
+
+	fmt.Printf("\nmean over %d trials:\n", *trials)
+	fmt.Printf("  %-18s %-14s %-14s\n", "coverage class", "realized (km)", "estimated 1σ (km)")
+	for i, name := range classes {
+		fmt.Printf("  %-18s %-14.2f %-14.2f\n",
+			name, sums[i]/float64(*trials), estErr[i]/float64(*trials))
+	}
+	fmt.Println("\nexpected: both dual-coverage classes improve on the single pass by an order of magnitude —")
+	fmt.Println("the accuracy premise behind the paper's QoS levels 2 and 3")
+}
+
+func observe(s satqos.GeoSensor, o satqos.CircularOrbit, target satqos.LatLon, start, end float64, rng *satqos.RNG) []satqos.GeoMeasurement {
+	times := make([]float64, 9)
+	for i := range times {
+		times[i] = start + (end-start)*float64(i)/8
+	}
+	m, err := s.Observe(o, target, times, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func angularSep(o satqos.CircularOrbit, target satqos.LatLon, t float64) float64 {
+	sub := o.SubSatellite(t)
+	dLat := sub.Lat - target.Lat
+	dLon := sub.Lon - target.Lon
+	return math.Hypot(dLat, dLon*math.Cos(target.Lat))
+}

@@ -1,0 +1,3 @@
+module satqos
+
+go 1.24

@@ -1,0 +1,180 @@
+// Package constellation models the paper's reference RF-geolocation
+// constellation (Collins et al., JPL D-25994): seven orbital planes, each
+// with 14 active micro-satellites and two in-orbit spares, protected by
+// scheduled and threshold-triggered ground-spare deployment policies.
+//
+// The package captures the structural-degradation behavior of §2 of the
+// paper: when a plane loses satellites after exhausting its spares, the
+// survivors undergo a phasing adjustment that redistributes them evenly,
+// stretching the revisit time Tr[k] = θ/k until footprints underlap
+// (Tr[k] ≥ Tc).
+package constellation
+
+import (
+	"fmt"
+	"math"
+
+	"satqos/internal/orbit"
+)
+
+// Config describes a constellation. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// Planes is the number of orbital planes.
+	Planes int
+	// ActivePerPlane is the number of satellites intended to be active in
+	// service in each plane.
+	ActivePerPlane int
+	// SparesPerPlane is the number of in-orbit spares per plane.
+	SparesPerPlane int
+	// PeriodMin is the orbital period θ in minutes.
+	PeriodMin float64
+	// InclinationDeg is the orbital inclination in degrees.
+	InclinationDeg float64
+	// CoverageTimeMin is the single-satellite coverage time Tc in minutes
+	// (the footprint's along-track diameter measured in time units).
+	CoverageTimeMin float64
+	// InterPlanePhaseFrac staggers the phase of plane i by
+	// i·InterPlanePhaseFrac·(2π/ActivePerPlane) (a Walker-style phasing
+	// factor in [0, 1)).
+	InterPlanePhaseFrac float64
+}
+
+// DefaultConfig returns the reference constellation of the paper:
+// 7 planes × (14 active + 2 spares), θ = 90 min, Tc = 9 min.
+func DefaultConfig() Config {
+	return Config{
+		Planes:              7,
+		ActivePerPlane:      14,
+		SparesPerPlane:      2,
+		PeriodMin:           90,
+		InclinationDeg:      86,
+		CoverageTimeMin:     9,
+		InterPlanePhaseFrac: 0.5,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Planes < 1:
+		return fmt.Errorf("constellation: %d planes, need at least 1", c.Planes)
+	case c.ActivePerPlane < 1:
+		return fmt.Errorf("constellation: %d active satellites per plane, need at least 1", c.ActivePerPlane)
+	case c.SparesPerPlane < 0:
+		return fmt.Errorf("constellation: negative spares per plane %d", c.SparesPerPlane)
+	case c.PeriodMin <= 0 || math.IsNaN(c.PeriodMin):
+		return fmt.Errorf("constellation: period %g min must be positive", c.PeriodMin)
+	case c.CoverageTimeMin <= 0 || c.CoverageTimeMin >= c.PeriodMin:
+		return fmt.Errorf("constellation: coverage time %g min must be in (0, period)", c.CoverageTimeMin)
+	case c.InclinationDeg < 0 || c.InclinationDeg > 180:
+		return fmt.Errorf("constellation: inclination %g° outside [0, 180]", c.InclinationDeg)
+	case c.InterPlanePhaseFrac < 0 || c.InterPlanePhaseFrac >= 1:
+		return fmt.Errorf("constellation: inter-plane phase fraction %g outside [0, 1)", c.InterPlanePhaseFrac)
+	}
+	return nil
+}
+
+// TotalSatellites returns the fully populated satellite count (actives
+// plus in-orbit spares across all planes); 112 for the reference design.
+func (c Config) TotalSatellites() int {
+	return c.Planes * (c.ActivePerPlane + c.SparesPerPlane)
+}
+
+// Constellation is a mutable constellation whose planes degrade as
+// satellites fail and recover as deployment policies fire.
+type Constellation struct {
+	cfg    Config
+	planes []*Plane
+}
+
+// New builds a fully populated constellation.
+func New(cfg Config) (*Constellation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Constellation{cfg: cfg}
+	c.planes = make([]*Plane, cfg.Planes)
+	for i := range c.planes {
+		c.planes[i] = newPlane(cfg, i)
+	}
+	return c, nil
+}
+
+// Config returns the configuration the constellation was built with.
+func (c *Constellation) Config() Config { return c.cfg }
+
+// Planes returns the number of planes.
+func (c *Constellation) Planes() int { return len(c.planes) }
+
+// Plane returns plane i.
+func (c *Constellation) Plane(i int) (*Plane, error) {
+	if i < 0 || i >= len(c.planes) {
+		return nil, fmt.Errorf("constellation: plane %d out of range [0, %d)", i, len(c.planes))
+	}
+	return c.planes[i], nil
+}
+
+// ActiveSatellites returns the total number of active satellites across
+// all planes.
+func (c *Constellation) ActiveSatellites() int {
+	n := 0
+	for _, p := range c.planes {
+		n += p.ActiveCount()
+	}
+	return n
+}
+
+// DeployScheduled restores every plane to full capacity — the paper's
+// scheduled ground-spare deployment, which launches by calendar (period
+// φ) to restore the constellation to its original 112 satellites.
+func (c *Constellation) DeployScheduled() {
+	for _, p := range c.planes {
+		p.RestoreFull()
+	}
+}
+
+// SatView describes one satellite's relationship to a ground target at a
+// queried time.
+type SatView struct {
+	Plane, Index  int
+	SubPoint      orbit.LatLon
+	Separation    float64 // great-circle angle to target, radians
+	Covers        bool
+	SlantRangeKm  float64
+	TimeToRevisit float64 // minutes until this plane's next footprint-center passage
+}
+
+// CoveringSatellites reports, for every active satellite, its view of the
+// target at time t, ordered plane-major. Callers filter on Covers for
+// simultaneous-coverage questions.
+func (c *Constellation) CoveringSatellites(target orbit.LatLon, t float64) []SatView {
+	var views []SatView
+	for pi, p := range c.planes {
+		for si, o := range p.ActiveOrbits() {
+			sub := o.SubSatellite(t)
+			sep := orbit.GreatCircle(sub, target)
+			views = append(views, SatView{
+				Plane:        pi,
+				Index:        si,
+				SubPoint:     sub,
+				Separation:   sep,
+				Covers:       sep <= p.Footprint().HalfAngle,
+				SlantRangeKm: orbit.SlantRangeKm(o, sep),
+			})
+		}
+	}
+	return views
+}
+
+// SimultaneousCoverageCount returns how many active satellites cover the
+// target at time t.
+func (c *Constellation) SimultaneousCoverageCount(target orbit.LatLon, t float64) int {
+	n := 0
+	for _, v := range c.CoveringSatellites(target, t) {
+		if v.Covers {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+// Package crosslink models the inter-satellite communication links the
+// OAQ protocol coordinates over: point-to-point messages between
+// neighboring satellites (and down to the ground station) with bounded
+// delivery delay δ, optional message loss, and fail-silent nodes.
+//
+// The paper's protocol analysis depends on exactly one link property —
+// the maximum inter-satellite message-delivery delay δ, which appears in
+// the TC-2 local threshold τ − (nδ + T_g) and in the wait threshold
+// τ − (n−1)δ — so the model is deliberately simple: each message is
+// delivered after a uniform delay in (0, δ], unless dropped or addressed
+// to a fail-silent node.
+package crosslink
+
+import (
+	"fmt"
+	"math"
+
+	"satqos/internal/des"
+	"satqos/internal/stats"
+)
+
+// NodeID identifies a network endpoint (a satellite or the ground
+// station).
+type NodeID int
+
+// GroundStation is the conventional ID of the ground segment.
+const GroundStation NodeID = -1
+
+// Message is one crosslink datagram.
+type Message struct {
+	// From and To are the endpoints.
+	From, To NodeID
+	// Kind tags the protocol message type (e.g. "coordination-request").
+	Kind string
+	// Payload carries protocol data; the network does not inspect it.
+	Payload any
+	// SentAt is the simulation time the message entered the link.
+	SentAt float64
+}
+
+// Handler consumes a delivered message at simulation time now.
+type Handler func(now float64, msg Message)
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int
+	Delivered int
+	// DroppedLoss counts messages lost to the link-loss process.
+	DroppedLoss int
+	// DroppedFailSilent counts messages addressed to fail-silent nodes
+	// (delivered nowhere) or sent by fail-silent nodes (never emitted).
+	DroppedFailSilent int
+}
+
+// Network is a crosslink fabric bound to a discrete-event simulation.
+type Network struct {
+	sim        *des.Simulation
+	rng        *stats.RNG
+	delta      float64
+	lossProb   float64
+	handlers   map[NodeID]Handler
+	failSilent map[NodeID]bool
+	stats      Stats
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// MaxDelayMin is δ: the maximum message-delivery delay (minutes).
+	MaxDelayMin float64
+	// LossProb is the probability an individual message is lost in
+	// transit (0 for the paper's analysis).
+	LossProb float64
+}
+
+// NewNetwork builds a network on the given simulation. The RNG drives
+// delay jitter and losses.
+func NewNetwork(sim *des.Simulation, cfg Config, rng *stats.RNG) (*Network, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("crosslink: simulation is required")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("crosslink: RNG is required")
+	}
+	if cfg.MaxDelayMin <= 0 || math.IsNaN(cfg.MaxDelayMin) {
+		return nil, fmt.Errorf("crosslink: max delay δ = %g must be positive", cfg.MaxDelayMin)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 || math.IsNaN(cfg.LossProb) {
+		return nil, fmt.Errorf("crosslink: loss probability %g outside [0, 1)", cfg.LossProb)
+	}
+	return &Network{
+		sim:        sim,
+		rng:        rng,
+		delta:      cfg.MaxDelayMin,
+		lossProb:   cfg.LossProb,
+		handlers:   make(map[NodeID]Handler),
+		failSilent: make(map[NodeID]bool),
+	}, nil
+}
+
+// MaxDelay returns δ.
+func (n *Network) MaxDelay() float64 { return n.delta }
+
+// Register installs the delivery handler for a node, replacing any
+// previous one.
+func (n *Network) Register(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("crosslink: nil handler for node %d", id)
+	}
+	n.handlers[id] = h
+	return nil
+}
+
+// SetFailSilent marks or unmarks a node as fail-silent: it neither sends
+// nor processes messages, without any indication to its peers — the
+// failure mode the backward-messaging variant of the protocol tolerates.
+func (n *Network) SetFailSilent(id NodeID, silent bool) {
+	n.failSilent[id] = silent
+}
+
+// FailSilent reports the node's current failure state.
+func (n *Network) FailSilent(id NodeID) bool { return n.failSilent[id] }
+
+// Send queues a message for delivery after a uniform delay in (0, δ].
+// Messages from or to fail-silent nodes disappear silently, as do
+// messages hit by the loss process. Sending to an unregistered node is
+// an error (a wiring bug, not a runtime condition).
+func (n *Network) Send(from, to NodeID, kind string, payload any) error {
+	if _, ok := n.handlers[to]; !ok && !n.failSilent[to] {
+		return fmt.Errorf("crosslink: send to unregistered node %d", to)
+	}
+	n.stats.Sent++
+	if n.failSilent[from] || n.failSilent[to] {
+		n.stats.DroppedFailSilent++
+		return nil
+	}
+	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
+		n.stats.DroppedLoss++
+		return nil
+	}
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sim.Now()}
+	delay := n.delta * (1 - n.rng.Float64()) // in (0, δ]
+	n.sim.Schedule(delay, "crosslink:"+kind, func(now float64) {
+		// Fail-silence may have begun after the send.
+		if n.failSilent[msg.To] {
+			n.stats.DroppedFailSilent++
+			return
+		}
+		h, ok := n.handlers[msg.To]
+		if !ok {
+			n.stats.DroppedFailSilent++
+			return
+		}
+		n.stats.Delivered++
+		h(now, msg)
+	})
+	return nil
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }

@@ -1,0 +1,205 @@
+package crosslink
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/des"
+	"satqos/internal/stats"
+)
+
+func newNet(t *testing.T, cfg Config) (*des.Simulation, *Network) {
+	t.Helper()
+	sim := &des.Simulation{}
+	net, err := NewNetwork(sim, cfg, stats.NewRNG(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	sim := &des.Simulation{}
+	rng := stats.NewRNG(1, 0)
+	if _, err := NewNetwork(nil, Config{MaxDelayMin: 1}, rng); err == nil {
+		t.Error("nil simulation accepted")
+	}
+	if _, err := NewNetwork(sim, Config{MaxDelayMin: 1}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewNetwork(sim, Config{MaxDelayMin: 0}, rng); err == nil {
+		t.Error("zero delay accepted")
+	}
+	if _, err := NewNetwork(sim, Config{MaxDelayMin: math.NaN()}, rng); err == nil {
+		t.Error("NaN delay accepted")
+	}
+	if _, err := NewNetwork(sim, Config{MaxDelayMin: 1, LossProb: 1}, rng); err == nil {
+		t.Error("loss probability 1 accepted")
+	}
+	if _, err := NewNetwork(sim, Config{MaxDelayMin: 1, LossProb: -0.1}, rng); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestDeliveryWithinDelta(t *testing.T) {
+	sim, net := newNet(t, Config{MaxDelayMin: 0.05})
+	var deliveries []float64
+	var got Message
+	if err := net.Register(2, func(now float64, m Message) {
+		deliveries = append(deliveries, now)
+		got = m
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(1, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := net.Send(1, 2, "ping", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(10)
+	if len(deliveries) != 200 {
+		t.Fatalf("delivered %d, want 200", len(deliveries))
+	}
+	for _, d := range deliveries {
+		if d <= 0 || d > 0.05 {
+			t.Fatalf("delivery at %v outside (0, δ]", d)
+		}
+	}
+	if got.From != 1 || got.To != 2 || got.Kind != "ping" {
+		t.Errorf("message fields: %+v", got)
+	}
+	if got.SentAt != 0 {
+		t.Errorf("SentAt = %v", got.SentAt)
+	}
+	st := net.Stats()
+	if st.Sent != 200 || st.Delivered != 200 || st.DroppedLoss != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if net.MaxDelay() != 0.05 {
+		t.Errorf("MaxDelay = %v", net.MaxDelay())
+	}
+}
+
+func TestSendToUnregistered(t *testing.T) {
+	_, net := newNet(t, Config{MaxDelayMin: 1})
+	if err := net.Send(1, 99, "x", nil); err == nil {
+		t.Error("send to unregistered node accepted")
+	}
+}
+
+func TestRegisterNilHandler(t *testing.T) {
+	_, net := newNet(t, Config{MaxDelayMin: 1})
+	if err := net.Register(1, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestFailSilentReceiverDropsQuietly(t *testing.T) {
+	sim, net := newNet(t, Config{MaxDelayMin: 0.1})
+	delivered := 0
+	if err := net.Register(2, func(float64, Message) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.SetFailSilent(2, true)
+	if !net.FailSilent(2) {
+		t.Error("FailSilent not reported")
+	}
+	if err := net.Send(1, 2, "x", nil); err != nil {
+		t.Fatalf("send to fail-silent node should not error: %v", err)
+	}
+	sim.Run(1)
+	if delivered != 0 {
+		t.Error("fail-silent node processed a message")
+	}
+	if net.Stats().DroppedFailSilent != 1 {
+		t.Errorf("stats: %+v", net.Stats())
+	}
+	// Recovery re-enables delivery.
+	net.SetFailSilent(2, false)
+	if err := net.Send(1, 2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2)
+	if delivered != 1 {
+		t.Error("recovered node did not receive")
+	}
+}
+
+func TestFailSilentSenderEmitsNothing(t *testing.T) {
+	sim, net := newNet(t, Config{MaxDelayMin: 0.1})
+	delivered := 0
+	if err := net.Register(2, func(float64, Message) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.SetFailSilent(1, true)
+	if err := net.Send(1, 2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if delivered != 0 {
+		t.Error("fail-silent sender's message was delivered")
+	}
+}
+
+func TestFailSilenceBeginningInFlight(t *testing.T) {
+	// A node that goes silent after a message was sent but before it
+	// arrives must not process it (the failure is instantaneous).
+	sim, net := newNet(t, Config{MaxDelayMin: 0.5})
+	delivered := 0
+	if err := net.Register(2, func(float64, Message) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(1, 2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	net.SetFailSilent(2, true)
+	sim.Run(1)
+	if delivered != 0 {
+		t.Error("in-flight message delivered to a node that failed before arrival")
+	}
+}
+
+func TestLossProcess(t *testing.T) {
+	sim := &des.Simulation{}
+	net, err := NewNetwork(sim, Config{MaxDelayMin: 0.01, LossProb: 0.3}, stats.NewRNG(99, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	if err := net.Register(2, func(float64, Message) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := net.Send(1, 2, "x", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(10)
+	frac := float64(delivered) / n
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("delivery fraction = %v, want ≈0.7", frac)
+	}
+	st := net.Stats()
+	if st.DroppedLoss+st.Delivered != n {
+		t.Errorf("loss accounting: %+v", st)
+	}
+}
+
+func TestGroundStationConstant(t *testing.T) {
+	sim, net := newNet(t, Config{MaxDelayMin: 0.1})
+	alerts := 0
+	if err := net.Register(GroundStation, func(float64, Message) { alerts++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(3, GroundStation, "alert", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if alerts != 1 {
+		t.Error("ground station did not receive the alert")
+	}
+}

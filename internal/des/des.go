@@ -1,0 +1,226 @@
+// Package des is a deterministic discrete-event simulation kernel.
+//
+// It drives the two simulations in this repository: the long-horizon
+// constellation degradation process (failures, spare deployments) and
+// the short-horizon OAQ coordination episodes (crosslink messages,
+// geolocation iterations). Events scheduled at equal times fire in
+// schedule order (FIFO), which makes runs reproducible bit-for-bit for a
+// fixed seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is invoked when an event fires. now is the simulation time of
+// the event.
+type Handler func(now float64)
+
+// Event is a scheduled occurrence. Events are created by
+// Simulation.Schedule and may be canceled before they fire.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 once removed
+	canceled bool
+	handler  Handler
+	label    string
+}
+
+// Time returns the simulation time at which the event is scheduled.
+func (e *Event) Time() float64 { return e.time }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Simulation is a single-threaded event-driven simulator. The zero value
+// is a simulation positioned at time 0 with no events; it is ready to
+// use.
+type Simulation struct {
+	now    float64
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// Now returns the current simulation time.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled, non-canceled events.
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers handler to run after delay units of simulation time.
+// The label is for diagnostics. Scheduling into the past is a programming
+// error and panics; simultaneous events run in scheduling order.
+func (s *Simulation) Schedule(delay float64, label string, handler Handler) *Event {
+	if handler == nil {
+		panic("des: Schedule with nil handler")
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: Schedule(%q) with negative or NaN delay %g", label, delay))
+	}
+	s.seq++
+	e := &Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAt registers handler to run at absolute simulation time t >= Now.
+func (s *Simulation) ScheduleAt(t float64, label string, handler Handler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: ScheduleAt(%q) at %g before now %g", label, t, s.now))
+	}
+	return s.Schedule(t-s.now, label, handler)
+}
+
+// Cancel removes the event from the pending set; a canceled event never
+// fires. Canceling an already-fired or already-canceled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Halt stops the run loop after the current event completes. It is the
+// mechanism by which an event handler ends a Run early.
+func (s *Simulation) Halt() { s.halted = true }
+
+// Step fires the next pending event, advancing the clock, and reports
+// whether an event was fired.
+func (s *Simulation) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.handler(s.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains, Halt is called, or the clock
+// would pass horizon (events strictly after horizon remain pending). It
+// returns the number of events fired during this call.
+func (s *Simulation) Run(horizon float64) uint64 {
+	if horizon < s.now {
+		panic(fmt.Sprintf("des: Run horizon %g before now %g", horizon, s.now))
+	}
+	s.halted = false
+	start := s.fired
+	for !s.halted {
+		// Peek: do not fire events beyond the horizon.
+		top := s.queue.peek()
+		if top == nil {
+			break
+		}
+		if top.time > horizon {
+			break
+		}
+		s.Step()
+	}
+	// A run always leaves the clock at the horizon (unless halted early)
+	// so that successive Run calls observe contiguous time.
+	if !s.halted && s.now < horizon {
+		s.now = horizon
+	}
+	return s.fired - start
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q eventQueue) peek() *Event {
+	// The heap may have canceled events at the top; they are skipped by
+	// Step, but for horizon checks we need the first live event.
+	// Canceled events are removed eagerly by Cancel, so the top is live
+	// except in the narrow case of cancellation during Pop; guard anyway.
+	for len(q) > 0 {
+		if !q[0].canceled {
+			return q[0]
+		}
+		return q[0] // canceled-at-top is skipped by Step; time is still a bound
+	}
+	return nil
+}
+
+// Ticker schedules handler every period units of time, starting after the
+// first period, until the returned stop function is called. It is used
+// for the scheduled ground-spare deployment policy (period φ).
+func (s *Simulation) Ticker(period float64, label string, handler Handler) (stop func()) {
+	if period <= 0 || math.IsNaN(period) {
+		panic(fmt.Sprintf("des: Ticker(%q) with non-positive period %g", label, period))
+	}
+	stopped := false
+	var pending *Event
+	var tick Handler
+	tick = func(now float64) {
+		if stopped {
+			return
+		}
+		handler(now)
+		if !stopped {
+			pending = s.Schedule(period, label, tick)
+		}
+	}
+	pending = s.Schedule(period, label, tick)
+	return func() {
+		stopped = true
+		s.Cancel(pending)
+	}
+}

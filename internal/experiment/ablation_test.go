@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPicoScalingShape(t *testing.T) {
+	sweep, err := PicoScaling(nil, nil, 5, 0.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Series) != 8 { // 4 populations × 2 schemes
+		t.Fatalf("series = %d", len(sweep.Series))
+	}
+	for _, n := range []int{14, 28, 56, 112} {
+		oaqS := sweep.Get(seriesName("OAQ", n))
+		baqS := sweep.Get(seriesName("BAQ", n))
+		if oaqS == nil || baqS == nil {
+			t.Fatalf("missing series for N=%d", n)
+		}
+		for i := range sweep.X {
+			if oaqS[i] < baqS[i]-1e-12 {
+				t.Errorf("N=%d loss=%v: OAQ %v < BAQ %v", n, sweep.X[i], oaqS[i], baqS[i])
+			}
+			if oaqS[i] < 0 || oaqS[i] > 1 {
+				t.Errorf("N=%d: probability %v out of range", n, oaqS[i])
+			}
+		}
+	}
+	// Graceful degradation with population: at 30% loss, the N=112
+	// plane still overlaps (Tr stretches by 1/0.7 < 1.4) while the
+	// reference N=14 plane has underlapped; OAQ on the large plane must
+	// be at least as good.
+	idx30 := indexOf(sweep.X, 0.3)
+	if idx30 < 0 {
+		t.Fatal("0.3 loss fraction missing")
+	}
+	big := sweep.Get(seriesName("OAQ", 112))[idx30]
+	small := sweep.Get(seriesName("OAQ", 14))[idx30]
+	if big < small {
+		t.Errorf("scaling inverted at 30%% loss: N=112 gives %v < N=14 gives %v", big, small)
+	}
+}
+
+func seriesName(scheme string, n int) string {
+	switch scheme {
+	case "OAQ":
+		return "OAQ N=" + itoa(n)
+	default:
+		return "BAQ N=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func indexOf(xs []float64, v float64) int {
+	for i, x := range xs {
+		if math.Abs(x-v) < 1e-12 {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPicoScalingValidation(t *testing.T) {
+	if _, err := PicoScaling(nil, []float64{1.5}, 5, 0.5, 30); err == nil {
+		t.Error("loss fraction >= 1 accepted")
+	}
+	if _, err := PicoScaling(nil, []float64{-0.1}, 5, 0.5, 30); err == nil {
+		t.Error("negative loss fraction accepted")
+	}
+}
+
+func TestAblationBackwardMessaging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo ablation skipped in -short mode")
+	}
+	sweep, err := AblationBackwardMessaging([]float64{0, 0.5, 1}, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := sweep.Get("backward delivered")
+	nd := sweep.Get("no-backward delivered")
+	if bd == nil || nd == nil {
+		t.Fatal("missing series")
+	}
+	// With no failures both variants deliver everything detected.
+	if bd[0] < 0.97 || nd[0] < 0.97 {
+		t.Errorf("failure-free delivery: backward %v, no-backward %v", bd[0], nd[0])
+	}
+	// Backward messaging keeps its guarantee as peers die; no-backward
+	// visibly degrades.
+	last := len(sweep.X) - 1
+	if bd[last] < 0.97 {
+		t.Errorf("backward delivery under total peer failure = %v, want ≈1", bd[last])
+	}
+	if nd[last] >= bd[last]-0.05 {
+		t.Errorf("no-backward should lose alerts: %v vs backward %v", nd[last], bd[last])
+	}
+}
+
+func TestAblationProtocolConstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo ablation skipped in -short mode")
+	}
+	sweep, err := AblationProtocolConstants([]float64{0.01, 0.5}, 4000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := sweep.Get("|drift from analytic|")
+	if drift == nil {
+		t.Fatal("missing drift series")
+	}
+	// Small constants: negligible drift. Large constants (δ=0.5,
+	// T_g=2.5 against τ=5): visible drift.
+	if drift[0] > 0.03 {
+		t.Errorf("drift at δ=0.01 is %v, want small", drift[0])
+	}
+	if drift[len(drift)-1] < drift[0] {
+		t.Errorf("drift should grow with the constants: %v -> %v", drift[0], drift[len(drift)-1])
+	}
+}
+
+func TestAblationTC1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo ablation skipped in -short mode")
+	}
+	sweep, err := AblationTC1([]float64{0, 16}, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level2 := sweep.Get("P(Y=2)")
+	msgs := sweep.Get("mean messages")
+	if level2 == nil || msgs == nil {
+		t.Fatal("missing series")
+	}
+	// Threshold 16 km > single-pass error 15 km: TC-1 satisfied at the
+	// first pass, so no sequential coordination and fewer messages.
+	if level2[1] != 0 {
+		t.Errorf("permissive TC-1 left sequential mass %v", level2[1])
+	}
+	if level2[0] == 0 {
+		t.Error("disabled TC-1 should allow sequential coordination")
+	}
+	if msgs[1] >= msgs[0] {
+		t.Errorf("permissive TC-1 should reduce messaging: %v vs %v", msgs[1], msgs[0])
+	}
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"fmt"
+
+	"satqos/internal/capacity"
+)
+
+// ConstellationAvailability composes the per-plane capacity model across
+// the seven independent planes (no shared spares, per §4.2.2) into
+// constellation-level availability: P(total active satellites >= m) as a
+// function of the node-failure rate, together with the expected fleet
+// size and the expected time for a plane to degrade to its threshold.
+// This is the fleet-operator view the paper's per-plane analysis rolls
+// up into.
+func ConstellationAvailability(lambdas []float64, eta int, phiHours float64, thresholds []int) (*Sweep, error) {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas()
+	}
+	if len(thresholds) == 0 {
+		thresholds = []int{98, 90, 80}
+	}
+	const planes = 7
+	sweep := &Sweep{
+		Title:  fmt.Sprintf("Constellation availability: P(total actives >= m) over %d planes (eta=%d, phi=%g hrs)", planes, eta, phiHours),
+		XLabel: "lambda(/hr)",
+		X:      lambdas,
+		Notes: []string{
+			"planes are independent (no shared spares); exact convolution of the per-plane distribution",
+		},
+	}
+	series := make(map[int][]float64, len(thresholds))
+	var fleetMean []float64
+	var mttaHours []float64
+	for _, lambda := range lambdas {
+		p := capacity.ReferenceParams(eta, lambda, phiHours)
+		for _, m := range thresholds {
+			v, err := capacity.ConstellationAtLeast(p, planes, m)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: availability at λ=%g, m=%d: %w", lambda, m, err)
+			}
+			series[m] = append(series[m], v)
+		}
+		dist, err := p.Analytic()
+		if err != nil {
+			return nil, err
+		}
+		fleetMean = append(fleetMean, float64(planes)*dist.Mean())
+		mtta, err := p.MeanTimeToThreshold()
+		if err != nil {
+			return nil, err
+		}
+		mttaHours = append(mttaHours, mtta)
+	}
+	for _, m := range thresholds {
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("P(total>=%d)", m),
+			Values: series[m],
+		})
+	}
+	sweep.Series = append(sweep.Series,
+		Series{Name: "E[fleet]", Values: fleetMean},
+		Series{Name: "MTTA(hrs)", Values: mttaHours},
+	)
+	return sweep, nil
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstellationAvailability(t *testing.T) {
+	sweep, err := ConstellationAvailability(nil, 10, 30000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p98 := sweep.Get("P(total>=98)")
+	p80 := sweep.Get("P(total>=80)")
+	fleet := sweep.Get("E[fleet]")
+	mtta := sweep.Get("MTTA(hrs)")
+	if p98 == nil || p80 == nil || fleet == nil || mtta == nil {
+		t.Fatal("missing series")
+	}
+	for i := range sweep.X {
+		// Availability is monotone in the threshold m.
+		if p98[i] > p80[i]+1e-12 {
+			t.Errorf("λ=%v: P(>=98)=%v exceeds P(>=80)=%v", sweep.X[i], p98[i], p80[i])
+		}
+		// Fleet bounds: 7η <= E <= 98.
+		if fleet[i] < 70 || fleet[i] > 98 {
+			t.Errorf("λ=%v: E[fleet] = %v outside [70, 98]", sweep.X[i], fleet[i])
+		}
+		if mtta[i] <= 0 {
+			t.Errorf("λ=%v: MTTA = %v", sweep.X[i], mtta[i])
+		}
+	}
+	// Monotone in λ: availability and MTTA fall as failures speed up.
+	for i := 1; i < len(sweep.X); i++ {
+		if p80[i] > p80[i-1]+1e-9 {
+			t.Errorf("P(>=80) not decreasing at index %d", i)
+		}
+		if mtta[i] >= mtta[i-1] {
+			t.Errorf("MTTA not decreasing at index %d", i)
+		}
+		if fleet[i] > fleet[i-1]+1e-9 {
+			t.Errorf("E[fleet] not decreasing at index %d", i)
+		}
+	}
+	// MTTA scales exactly as 1/λ.
+	ratio := mtta[0] / mtta[len(mtta)-1]
+	wantRatio := sweep.X[len(sweep.X)-1] / sweep.X[0]
+	if math.Abs(ratio-wantRatio) > 1e-6*wantRatio {
+		t.Errorf("MTTA ratio = %v, want %v", ratio, wantRatio)
+	}
+}

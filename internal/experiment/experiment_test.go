@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "a", "bb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a,bb\n1,2\n333,4\n") {
+		t.Errorf("CSV rendering wrong:\n%s", b.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Columns: []string{`x,y`, `q"z`}, Rows: [][]string{{"1", "2"}}}
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"x,y","q""z"`) {
+		t.Errorf("escaping wrong: %s", b.String())
+	}
+}
+
+func TestSweepTableAndGet(t *testing.T) {
+	s := &Sweep{
+		Title:  "sw",
+		XLabel: "x",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "s1", Values: []float64{0.5, 0.25}}},
+	}
+	if got := s.Get("s1"); got == nil || got[1] != 0.25 {
+		t.Errorf("Get = %v", got)
+	}
+	if s.Get("nope") != nil {
+		t.Error("Get of missing series should be nil")
+	}
+	tab := s.Table()
+	if len(tab.Rows) != 2 || tab.Columns[0] != "x" || tab.Columns[1] != "s1" {
+		t.Errorf("sweep table: %+v", tab)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 2 || len(tab.Columns) != 5 {
+		t.Fatalf("Table 1 shape: %d rows, %d cols", len(tab.Rows), len(tab.Columns))
+	}
+	// Overlap row: Y=3 reachable, Y=2 and Y=0 not.
+	over := tab.Rows[0]
+	if over[1] != "yes" || over[2] != "-" || over[3] != "yes" || over[4] != "-" {
+		t.Errorf("overlap row: %v", over)
+	}
+	under := tab.Rows[1]
+	if under[1] != "-" || under[2] != "yes" || under[3] != "yes" || under[4] != "yes" {
+		t.Errorf("underlap row: %v", under)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	sweep, err := Figure7(nil, 10, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.X) != 10 || len(sweep.Series) != 5 {
+		t.Fatalf("Figure 7 shape: %d x, %d series", len(sweep.X), len(sweep.Series))
+	}
+	p14 := sweep.Get("P(K=14)")
+	p10 := sweep.Get("P(K=10)")
+	if p14 == nil || p10 == nil {
+		t.Fatal("missing series")
+	}
+	// Paper: full capacity dominates at low λ; threshold capacity
+	// dominates at high λ; P(K=10) rapidly increases with λ.
+	if p14[0] < 0.5 {
+		t.Errorf("P(K=14) at λ=1e-5 = %v, want dominant", p14[0])
+	}
+	if p10[0] > 0.05 {
+		t.Errorf("P(K=10) at λ=1e-5 = %v, want very small", p10[0])
+	}
+	if p10[len(p10)-1] < 0.5 {
+		t.Errorf("P(K=10) at λ=1e-4 = %v, want dominant", p10[len(p10)-1])
+	}
+	for i := 1; i < len(p10); i++ {
+		if p10[i] < p10[i-1]-1e-9 {
+			t.Errorf("P(K=10) not increasing at index %d", i)
+		}
+	}
+	// Mass sums to 1 at every λ.
+	for i := range sweep.X {
+		var sum float64
+		for _, ser := range sweep.Series {
+			sum += ser.Values[i]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("mass at λ=%v is %v", sweep.X[i], sum)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	sweep, err := Figure8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Series) != 4 {
+		t.Fatalf("Figure 8 series = %d", len(sweep.Series))
+	}
+	oaq02 := sweep.Get("OAQ (mu=0.2)")
+	oaq05 := sweep.Get("OAQ (mu=0.5)")
+	baq02 := sweep.Get("BAQ (mu=0.2)")
+	baq05 := sweep.Get("BAQ (mu=0.5)")
+	for i := range sweep.X {
+		// OAQ above BAQ everywhere.
+		if oaq02[i] <= baq02[i] || oaq05[i] <= baq05[i] {
+			t.Errorf("OAQ not above BAQ at λ=%v", sweep.X[i])
+		}
+		// OAQ improves as µ decreases (longer signals = more
+		// opportunity); BAQ is µ-insensitive.
+		if oaq02[i] <= oaq05[i] {
+			t.Errorf("OAQ µ-sensitivity inverted at λ=%v", sweep.X[i])
+		}
+		if math.Abs(baq02[i]-baq05[i]) > 1e-9 {
+			t.Errorf("BAQ should be µ-insensitive at λ=%v: %v vs %v", sweep.X[i], baq02[i], baq05[i])
+		}
+	}
+	// Paper: "when µ decreases from 0.5 to 0.2, P(Y = 3) increases up to
+	// 38% over the domain of λ considered."
+	maxGain := 0.0
+	for i := range oaq02 {
+		if gain := oaq02[i]/oaq05[i] - 1; gain > maxGain {
+			maxGain = gain
+		}
+	}
+	if maxGain < 0.25 || maxGain > 0.55 {
+		t.Errorf("max OAQ µ-gain = %.0f%%, paper reports up to 38%%", 100*maxGain)
+	}
+}
+
+func TestFigure9Endpoints(t *testing.T) {
+	sweep, err := Figure9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Series) != 6 {
+		t.Fatalf("Figure 9 series = %d", len(sweep.Series))
+	}
+	oaq2 := sweep.Get("OAQ y>=2")
+	baq2 := sweep.Get("BAQ y>=2")
+	oaq1 := sweep.Get("OAQ y>=1")
+	baq1 := sweep.Get("BAQ y>=1")
+	last := len(sweep.X) - 1
+	// Paper endpoints: 0.75/0.33 at λ=1e-5; 0.41/0.04 at λ=1e-4.
+	checks := []struct {
+		name      string
+		got, want float64
+		tolerance float64
+	}{
+		{"OAQ P(Y>=2) @1e-5", oaq2[0], 0.75, 0.04},
+		{"BAQ P(Y>=2) @1e-5", baq2[0], 0.33, 0.04},
+		{"OAQ P(Y>=2) @1e-4", oaq2[last], 0.41, 0.04},
+		{"BAQ P(Y>=2) @1e-4", baq2[last], 0.04, 0.04},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tolerance {
+			t.Errorf("%s = %v, paper ≈ %v", c.name, c.got, c.want)
+		}
+	}
+	// P(Y >= 1) = 1 for both schemes over the whole domain.
+	for i := range sweep.X {
+		if math.Abs(oaq1[i]-1) > 1e-9 || math.Abs(baq1[i]-1) > 1e-9 {
+			t.Errorf("P(Y>=1) != 1 at λ=%v: OAQ %v, BAQ %v", sweep.X[i], oaq1[i], baq1[i])
+		}
+		// OAQ >= BAQ at every level and λ.
+		if oaq2[i] < baq2[i] {
+			t.Errorf("dominance violated at λ=%v", sweep.X[i])
+		}
+	}
+}
+
+func TestSection43SpotTable(t *testing.T) {
+	tab, err := Section43Spot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 6 capacities × 2 schemes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Find the OAQ k=12 row and check the quoted 0.44.
+	var found bool
+	for _, row := range tab.Rows {
+		if row[0] == "12" && row[2] == "OAQ" {
+			found = true
+			if row[6] != "0.4444" {
+				t.Errorf("OAQ P(Y=3|12) cell = %s, want 0.4444", row[6])
+			}
+		}
+		if row[0] == "12" && row[2] == "BAQ" {
+			if row[6] != "0.2000" {
+				t.Errorf("BAQ P(Y=3|12) cell = %s, want 0.2000", row[6])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("OAQ k=12 row missing")
+	}
+}
+
+func TestTauSweepShape(t *testing.T) {
+	sweep, err := TauSweep(nil, 5e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oaq2 := sweep.Get("OAQ y>=2")
+	baq3 := sweep.Get("BAQ y>=3")
+	if oaq2 == nil || baq3 == nil {
+		t.Fatal("missing series")
+	}
+	// OAQ's measure grows with τ (exploiting the time allowance).
+	for i := 1; i < len(oaq2); i++ {
+		if oaq2[i] < oaq2[i-1]-1e-9 {
+			t.Errorf("OAQ y>=2 not monotone in τ at index %d", i)
+		}
+	}
+	// BAQ's level-3 mass saturates once H(τ) ≈ 1 (ν = 30): flat after
+	// the first grid point.
+	for i := 2; i < len(baq3); i++ {
+		if math.Abs(baq3[i]-baq3[i-1]) > 1e-6 {
+			t.Errorf("BAQ y>=3 should be flat in τ beyond saturation: %v vs %v", baq3[i], baq3[i-1])
+		}
+	}
+}
+
+func TestDurationSweepShape(t *testing.T) {
+	sweep, err := DurationSweep(nil, 5e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oaq2 := sweep.Get("OAQ y>=2")
+	baq2 := sweep.Get("BAQ y>=2")
+	// OAQ responds to longer signals as extended opportunity.
+	for i := 1; i < len(oaq2); i++ {
+		if oaq2[i] < oaq2[i-1]-1e-9 {
+			t.Errorf("OAQ y>=2 not monotone in mean duration at index %d", i)
+		}
+	}
+	// BAQ: flat (its level 3 needs the signal to start inside β, which
+	// does not depend on duration).
+	for i := 1; i < len(baq2); i++ {
+		if math.Abs(baq2[i]-baq2[i-1]) > 1e-9 {
+			t.Errorf("BAQ y>=2 should be duration-insensitive: %v vs %v", baq2[i], baq2[i-1])
+		}
+	}
+}
+
+func TestGeometryCheckTable(t *testing.T) {
+	tab, err := GeometryCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "90.0000" {
+		t.Errorf("engine period = %s, want 90.0000", tab.Rows[0][1])
+	}
+	if tab.Rows[1][1] != "9.0000" {
+		t.Errorf("engine Tc = %s, want 9.0000", tab.Rows[1][1])
+	}
+}
+
+func TestCapacityRouteCheck(t *testing.T) {
+	tab, worst, err := CapacityRouteCheck(12, 5e-5, 30000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if worst > 1e-5 {
+		t.Errorf("analytic vs SAN discrepancy = %v", worst)
+	}
+}
+
+func TestSimVsAnalyticSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo comparison skipped in -short mode")
+	}
+	tab, worst, err := SimVsAnalytic([]int{10, 12}, 15000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if worst > 0.025 {
+		t.Errorf("protocol-vs-analytic discrepancy = %v, want < 0.025", worst)
+	}
+}
+
+func TestFullEarthCoverage(t *testing.T) {
+	covered, mult, err := FullEarthCoverage(12, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered < 0.98 {
+		t.Errorf("covered fraction = %v, want ≈1 (Figure 1: full earth coverage)", covered)
+	}
+	if mult < 1 {
+		t.Errorf("mean multiplicity = %v, want >= 1", mult)
+	}
+	if _, _, err := FullEarthCoverage(0, 10, nil); err == nil {
+		t.Error("zero step accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+
+	"satqos/internal/capacity"
+	"satqos/internal/numeric"
+	"satqos/internal/qos"
+)
+
+// DefaultLambdas is the λ axis of the paper's figures: 1e-5 to 1e-4 per
+// hour in steps of 1e-5.
+func DefaultLambdas() []float64 {
+	return numeric.Linspace(1e-5, 1e-4, 10)
+}
+
+// Table1 reproduces Table 1: QoS levels versus geometric properties —
+// which levels are reachable under footprint overlap (I[k] = 1) and
+// underlap (I[k] = 0).
+func Table1() *Table {
+	mark := func(reachable bool) string {
+		if reachable {
+			return "yes"
+		}
+		return "-"
+	}
+	return &Table{
+		Title: "Table 1: QoS levels vs geometric properties",
+		Columns: []string{
+			"I[k]",
+			"Y=3 simultaneous dual", "Y=2 sequential dual", "Y=1 single coverage", "Y=0 missing target",
+		},
+		Rows: [][]string{
+			{"1 (overlap)", mark(true), mark(false), mark(true), mark(false)},
+			{"0 (underlap)", mark(false), mark(true), mark(true), mark(true)},
+		},
+		Notes: []string{
+			"Y=2 requires OAQ's sequential coordination; BAQ cannot reach it.",
+			"reference geometry: overlap iff k >= 11 (Tr[k] = 90/k < Tc = 9).",
+		},
+	}
+}
+
+// Figure7 reproduces Figure 7: the plane-capacity probabilities P(K = k)
+// as functions of the node-failure rate λ, with threshold η = 10 and
+// scheduled-deployment period φ = 30000 h.
+func Figure7(lambdas []float64, eta int, phiHours float64) (*Sweep, error) {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas()
+	}
+	sweep := &Sweep{
+		Title:  fmt.Sprintf("Figure 7: P(K=k) vs node-failure rate (eta=%d, phi=%g hrs)", eta, phiHours),
+		XLabel: "lambda(/hr)",
+		X:      lambdas,
+		Notes: []string{
+			"analytic route: time-averaged transient of the plane-capacity chain over one scheduled-deployment period",
+		},
+	}
+	series := make(map[int][]float64)
+	for _, lambda := range lambdas {
+		dist, err := capacity.ReferenceParams(eta, lambda, phiHours).Analytic()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: Figure7 at λ=%g: %w", lambda, err)
+		}
+		for k := eta; k <= 14; k++ {
+			series[k] = append(series[k], dist.P(k))
+		}
+	}
+	for k := eta; k <= 14; k++ {
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("P(K=%d)", k),
+			Values: series[k],
+		})
+	}
+	return sweep, nil
+}
+
+// Figure8 reproduces Figure 8: P(Y = 3) as a function of λ for OAQ and
+// BAQ at µ = 0.2 and µ = 0.5 (τ = 5, ν = 30, η = 12, φ = 30000 h).
+func Figure8(lambdas []float64) (*Sweep, error) {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas()
+	}
+	const (
+		eta = 12
+		phi = 30000.0
+		tau = 5.0
+		nu  = 30.0
+	)
+	sweep := &Sweep{
+		Title:  "Figure 8: P(Y=3) vs node-failure rate (tau=5, eta=12, phi=30000 hrs)",
+		XLabel: "lambda(/hr)",
+		X:      lambdas,
+	}
+	type cfg struct {
+		scheme qos.Scheme
+		mu     float64
+	}
+	cfgs := []cfg{
+		{qos.SchemeOAQ, 0.2},
+		{qos.SchemeOAQ, 0.5},
+		{qos.SchemeBAQ, 0.2},
+		{qos.SchemeBAQ, 0.5},
+	}
+	for _, c := range cfgs {
+		model, err := qos.NewModel(qos.ReferenceGeometry(), tau, c.mu, nu)
+		if err != nil {
+			return nil, err
+		}
+		values := make([]float64, 0, len(lambdas))
+		for _, lambda := range lambdas {
+			dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: Figure8 at λ=%g: %w", lambda, err)
+			}
+			pmf, err := model.Compose(c.scheme, dist)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, pmf[qos.LevelSimultaneousDual])
+		}
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("%v (mu=%g)", c.scheme, c.mu),
+			Values: values,
+		})
+	}
+	return sweep, nil
+}
+
+// Figure9 reproduces Figure 9: the QoS measure P(Y >= y) for
+// y ∈ {1, 2, 3} under OAQ and BAQ (τ = 5, µ = 0.2, ν = 30, η = 10,
+// φ = 30000 h — the η = 10 setting of Figure 7, which matches the
+// paper's reported endpoint values).
+func Figure9(lambdas []float64) (*Sweep, error) {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas()
+	}
+	const (
+		eta = 10
+		phi = 30000.0
+		tau = 5.0
+		mu  = 0.2
+		nu  = 30.0
+	)
+	model, err := qos.NewModel(qos.ReferenceGeometry(), tau, mu, nu)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &Sweep{
+		Title:  "Figure 9: P(Y>=y) vs node-failure rate (tau=5, mu=0.2, phi=30000 hrs)",
+		XLabel: "lambda(/hr)",
+		X:      lambdas,
+		Notes: []string{
+			"eta=10 (the Figure 7 setting): reproduces the paper's endpoints P(Y>=2) 0.75/0.33 at 1e-5 and 0.41/0.04 at 1e-4",
+		},
+	}
+	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+		for y := qos.LevelSimultaneousDual; y >= qos.LevelSingle; y-- {
+			values := make([]float64, 0, len(lambdas))
+			for _, lambda := range lambdas {
+				dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
+				if err != nil {
+					return nil, fmt.Errorf("experiment: Figure9 at λ=%g: %w", lambda, err)
+				}
+				v, err := model.Measure(scheme, dist, y)
+				if err != nil {
+					return nil, err
+				}
+				values = append(values, v)
+			}
+			sweep.Series = append(sweep.Series, Series{
+				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
+				Values: values,
+			})
+		}
+	}
+	return sweep, nil
+}
+
+// Section43Spot reproduces the §4.3 spot evaluation of the constituent
+// measure P(Y = y | k) at τ = 5, µ = 0.5, ν = 30 for all capacities,
+// including the quoted values P(Y=3|12) = 0.44 (OAQ) and 0.20 (BAQ).
+func Section43Spot() (*Table, error) {
+	model := qos.ReferenceModel()
+	t := &Table{
+		Title:   "Section 4.3: conditional QoS P(Y=y|k) at tau=5, mu=0.5, nu=30",
+		Columns: []string{"k", "I[k]", "scheme", "P(Y=0|k)", "P(Y=1|k)", "P(Y=2|k)", "P(Y=3|k)"},
+		Notes: []string{
+			"paper quotes OAQ P(Y=3|12)=0.44 and BAQ P(Y=3|12)=0.20",
+		},
+	}
+	for k := 9; k <= 14; k++ {
+		i, err := model.Geom.I(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+			pmf, err := model.ConditionalPMF(scheme, k)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", i),
+				scheme.String(),
+				fmt.Sprintf("%.4f", pmf[qos.LevelMiss]),
+				fmt.Sprintf("%.4f", pmf[qos.LevelSingle]),
+				fmt.Sprintf("%.4f", pmf[qos.LevelSequentialDual]),
+				fmt.Sprintf("%.4f", pmf[qos.LevelSimultaneousDual]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// TauSweep reproduces the §4.3 experiment "the QoS measure as a function
+// of τ": OAQ exploits the full time allowance while BAQ plateaus.
+func TauSweep(taus []float64, lambda float64) (*Sweep, error) {
+	if len(taus) == 0 {
+		taus = numeric.Linspace(1, 9, 9)
+	}
+	const (
+		eta = 10
+		phi = 30000.0
+		mu  = 0.2
+		nu  = 30.0
+	)
+	dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
+	if err != nil {
+		return nil, err
+	}
+	sweep := &Sweep{
+		Title:  fmt.Sprintf("QoS measure vs deadline tau (lambda=%g, mu=%g)", lambda, mu),
+		XLabel: "tau(min)",
+		X:      taus,
+	}
+	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+		for _, y := range []qos.Level{qos.LevelSequentialDual, qos.LevelSimultaneousDual} {
+			values := make([]float64, 0, len(taus))
+			for _, tau := range taus {
+				model, err := qos.NewModel(qos.ReferenceGeometry(), tau, mu, nu)
+				if err != nil {
+					return nil, err
+				}
+				v, err := model.Measure(scheme, dist, y)
+				if err != nil {
+					return nil, err
+				}
+				values = append(values, v)
+			}
+			sweep.Series = append(sweep.Series, Series{
+				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
+				Values: values,
+			})
+		}
+	}
+	return sweep, nil
+}
+
+// DurationSweep reproduces the §4.3 experiment "the QoS measure as a
+// function of the mean signal duration": OAQ treats longer signals as
+// extended opportunity; BAQ is insensitive.
+func DurationSweep(meanDurations []float64, lambda float64) (*Sweep, error) {
+	if len(meanDurations) == 0 {
+		meanDurations = []float64{0.5, 1, 2, 3, 5, 8, 12, 20}
+	}
+	const (
+		eta = 10
+		phi = 30000.0
+		tau = 5.0
+		nu  = 30.0
+	)
+	dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
+	if err != nil {
+		return nil, err
+	}
+	sweep := &Sweep{
+		Title:  fmt.Sprintf("QoS measure vs mean signal duration 1/mu (lambda=%g, tau=%g)", lambda, tau),
+		XLabel: "mean-duration(min)",
+		X:      meanDurations,
+	}
+	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+		for _, y := range []qos.Level{qos.LevelSequentialDual, qos.LevelSimultaneousDual} {
+			values := make([]float64, 0, len(meanDurations))
+			for _, mean := range meanDurations {
+				model, err := qos.NewModel(qos.ReferenceGeometry(), tau, 1/mean, nu)
+				if err != nil {
+					return nil, err
+				}
+				v, err := model.Measure(scheme, dist, y)
+				if err != nil {
+					return nil, err
+				}
+				values = append(values, v)
+			}
+			sweep.Series = append(sweep.Series, Series{
+				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
+				Values: values,
+			})
+		}
+	}
+	return sweep, nil
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+func TestMembershipLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership latency sweep skipped in -short mode")
+	}
+	sweep, err := MembershipLatency([]float64{0.1, 0.2}, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := sweep.Get("mean latency")
+	max := sweep.Get("max latency")
+	bound := sweep.Get("analytic bound")
+	if mean == nil || max == nil || bound == nil {
+		t.Fatal("missing series")
+	}
+	for i := range sweep.X {
+		if mean[i] <= 0 {
+			t.Errorf("round %v: non-positive mean latency %v", sweep.X[i], mean[i])
+		}
+		if mean[i] > max[i] {
+			t.Errorf("round %v: mean %v exceeds max %v", sweep.X[i], mean[i], max[i])
+		}
+		// The measured exclusion latency respects the analytic bound
+		// (with a half-poll-step measurement slack).
+		if max[i] > bound[i]+sweep.X[i] {
+			t.Errorf("round %v: max latency %v exceeds bound %v", sweep.X[i], max[i], bound[i])
+		}
+	}
+	// Latency scales with the round period.
+	if mean[1] <= mean[0] {
+		t.Errorf("latency should grow with round period: %v vs %v", mean[1], mean[0])
+	}
+}
+
+func TestMembershipLatencyValidation(t *testing.T) {
+	if _, err := MembershipLatency([]float64{0}, 5, 1); err == nil {
+		t.Error("zero round period accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestDistributionSensitivity(t *testing.T) {
+	tab, err := DistributionSensitivity(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	// First row is the paper's exponential case: must match the closed
+	// form (0.2037 and 0.4444 at τ=5, µ=0.5, ν=30).
+	base := tab.Rows[0]
+	if g2 := parse(base[2]); g2 < 0.2 || g2 > 0.21 {
+		t.Errorf("exponential P(Y=2|10) = %v, want ≈0.2037", g2)
+	}
+	if g3 := parse(base[3]); g3 < 0.44 || g3 > 0.45 {
+		t.Errorf("exponential P(Y=3|12) = %v, want ≈0.4444", g3)
+	}
+	for i, row := range tab.Rows {
+		g2 := parse(row[2])
+		g3 := parse(row[3])
+		b3 := parse(row[4])
+		if g2 < 0 || g2 > 1 || g3 < 0 || g3 > 1 || b3 < 0 || b3 > 1 {
+			t.Errorf("row %d out of range: %v", i, row)
+		}
+		// The structural conclusion survives every shape: OAQ's level-3
+		// probability beats BAQ's.
+		if g3 <= b3 {
+			t.Errorf("row %d (%s): OAQ %v <= BAQ %v", i, row[0], g3, b3)
+		}
+	}
+	// The bursty row must show reduced OAQ measures vs exponential.
+	bursty := tab.Rows[3]
+	if parse(bursty[2]) >= parse(base[2]) {
+		t.Errorf("bursty P(Y=2|10) = %v should fall below exponential %v", bursty[2], base[2])
+	}
+	if _, err := DistributionSensitivity(0); err == nil {
+		t.Error("zero deadline accepted")
+	}
+}

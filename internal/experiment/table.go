@@ -1,0 +1,151 @@
+// Package experiment is the reproduction harness: it regenerates every
+// table and figure of the paper's evaluation (§4.3) from the analytic
+// model (packages qos and capacity) and validates them against the
+// discrete-event protocol simulation (package oaq) and the orbital
+// geometry engine (packages orbit and constellation).
+//
+// Each experiment returns structured data (a Sweep or Table) that the
+// oaqbench command renders as aligned text or CSV, and that the
+// benchmark harness and tests consume numerically.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	// Title heads the rendering.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells (each row must match len(Columns)).
+	Rows [][]string
+	// Notes are free-form footnotes (assumptions, paper references).
+	Notes []string
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes an RFC-4180-ish CSV rendering (no quoting needed for
+// the numeric content these tables carry; commas in cells are escaped
+// defensively).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named curve of a sweep.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Sweep is an experiment whose output is a family of curves over a
+// shared x-axis — the shape of the paper's figures.
+type Sweep struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// Get returns the named series' values, or nil when absent.
+func (s *Sweep) Get(name string) []float64 {
+	for _, ser := range s.Series {
+		if ser.Name == name {
+			return ser.Values
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep as a Table (x in the first column).
+func (s *Sweep) Table() *Table {
+	cols := make([]string, 0, len(s.Series)+1)
+	cols = append(cols, s.XLabel)
+	for _, ser := range s.Series {
+		cols = append(cols, ser.Name)
+	}
+	rows := make([][]string, len(s.X))
+	for i, x := range s.X {
+		row := make([]string, 0, len(cols))
+		row = append(row, formatX(x))
+		for _, ser := range s.Series {
+			v := ""
+			if i < len(ser.Values) {
+				v = fmt.Sprintf("%.4f", ser.Values[i])
+			}
+			row = append(row, v)
+		}
+		rows[i] = row
+	}
+	return &Table{Title: s.Title, Columns: cols, Rows: rows, Notes: s.Notes}
+}
+
+func formatX(x float64) string {
+	if x != 0 && (x < 1e-3 || x >= 1e5) {
+		return fmt.Sprintf("%.2e", x)
+	}
+	return fmt.Sprintf("%g", x)
+}

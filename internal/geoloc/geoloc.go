@@ -1,0 +1,409 @@
+// Package geoloc implements the signal-position-determination substrate
+// the paper builds on: Doppler-based geolocation of a ground RF emitter
+// from one or two LEO satellites (Levanon, IEEE TAES 34(3), 1998) with
+// sequential localization — an iterative weighted-least-squares solver
+// that fuses earlier estimates with measurements accumulated by
+// satellites that successively revisit the target (Chan & Towers, IEEE
+// TAES 28(4), 1992).
+//
+// The estimator solves for the emitter's position (expressed as
+// north/east offsets in km from a linearization point) and its unknown
+// carrier frequency, from received-frequency measurements
+//
+//	f_recv = f₀ (1 − ṙ/c),
+//
+// where ṙ is the satellite–emitter range rate. A prior estimate with
+// covariance enters as pseudo-measurements, which is exactly the
+// sequential-localization fusion the OAQ coordination chain passes from
+// satellite to satellite.
+//
+// Units: km, minutes, Hz. The speed of light is therefore expressed in
+// km/min.
+package geoloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"satqos/internal/mat"
+	"satqos/internal/orbit"
+	"satqos/internal/stats"
+)
+
+// SpeedOfLightKmPerMin is c in this package's units.
+const SpeedOfLightKmPerMin = 299792.458 * 60
+
+// ErrNotConverged is returned when Gauss–Newton fails to converge within
+// the iteration budget.
+var ErrNotConverged = errors.New("geoloc: estimator did not converge")
+
+// Measurement is one received-frequency observation of the emitter by a
+// satellite.
+type Measurement struct {
+	// Time is the observation time in minutes.
+	Time float64
+	// SatPos is the satellite's inertial position (km).
+	SatPos orbit.Vec3
+	// SatVel is the satellite's inertial velocity (km/min).
+	SatVel orbit.Vec3
+	// FreqHz is the measured received frequency.
+	FreqHz float64
+	// SigmaHz is the 1σ measurement noise.
+	SigmaHz float64
+}
+
+// Validate checks a measurement for usability.
+func (m Measurement) Validate() error {
+	if m.SigmaHz <= 0 || math.IsNaN(m.SigmaHz) {
+		return fmt.Errorf("geoloc: measurement σ = %g Hz must be positive", m.SigmaHz)
+	}
+	if m.FreqHz <= 0 || math.IsNaN(m.FreqHz) {
+		return fmt.Errorf("geoloc: measured frequency %g Hz must be positive", m.FreqHz)
+	}
+	if m.SatPos.Norm() < orbit.EarthRadiusKm {
+		return fmt.Errorf("geoloc: satellite position inside the earth (r = %g km)", m.SatPos.Norm())
+	}
+	return nil
+}
+
+// predictedFrequency returns the received frequency for an emitter at the
+// given surface position radiating at f0, observed by a satellite at
+// (pos, vel) at time t. The emitter co-rotates with the earth.
+func predictedFrequency(emitter orbit.LatLon, f0 float64, t float64, satPos, satVel orbit.Vec3) float64 {
+	ePos := emitter.ECI(t)
+	eVel := emitter.ECIVelocity(t)
+	los := satPos.Sub(ePos)
+	r := los.Norm()
+	if r == 0 {
+		return f0
+	}
+	rangeRate := los.Dot(satVel.Sub(eVel)) / r
+	return f0 * (1 - rangeRate/SpeedOfLightKmPerMin)
+}
+
+// Estimate is a geolocation solution.
+type Estimate struct {
+	// Position is the estimated emitter location.
+	Position orbit.LatLon
+	// FreqHz is the estimated carrier frequency.
+	FreqHz float64
+	// Covariance is the 3×3 posterior covariance in (north km, east km,
+	// Hz) coordinates at Position.
+	Covariance *mat.Matrix
+	// Iterations is the number of Gauss–Newton iterations used.
+	Iterations int
+	// Measurements is the total number of frequency measurements fused
+	// into this estimate (including those carried by the prior).
+	Measurements int
+}
+
+// ErrorKm returns the 1σ horizontal position uncertainty
+// √(σ²_north + σ²_east) — the "estimated error" that OAQ's termination
+// condition TC-1 compares to its threshold.
+func (e Estimate) ErrorKm() float64 {
+	if e.Covariance == nil {
+		return math.Inf(1)
+	}
+	return math.Sqrt(e.Covariance.At(0, 0) + e.Covariance.At(1, 1))
+}
+
+// DistanceKm returns the great-circle distance between the estimate and
+// a reference position, for accuracy reporting against ground truth.
+func (e Estimate) DistanceKm(truth orbit.LatLon) float64 {
+	return orbit.SurfaceDistanceKm(e.Position, truth)
+}
+
+// Estimator solves the weighted nonlinear least-squares geolocation
+// problem by damped Gauss–Newton iteration.
+type Estimator struct {
+	// MaxIter bounds Gauss–Newton iterations (default 50).
+	MaxIter int
+	// TolKm is the convergence threshold on the position step (default
+	// 1e-4 km, i.e. 10 cm — far below any achievable Doppler accuracy).
+	TolKm float64
+}
+
+// offsetPosition displaces a base position by north/east kilometers on
+// the spherical earth (small-offset approximation, exact enough for the
+// footprint-scale displacements this solver takes).
+func offsetPosition(base orbit.LatLon, northKm, eastKm float64) orbit.LatLon {
+	lat := base.Lat + northKm/orbit.EarthRadiusKm
+	cos := math.Cos(base.Lat)
+	if math.Abs(cos) < 1e-9 {
+		cos = 1e-9
+	}
+	lon := base.Lon + eastKm/(orbit.EarthRadiusKm*cos)
+	return orbit.LatLon{Lat: lat, Lon: lon}
+}
+
+// enuOffset returns the (north, east) km displacement from base to p.
+func enuOffset(base, p orbit.LatLon) (northKm, eastKm float64) {
+	northKm = (p.Lat - base.Lat) * orbit.EarthRadiusKm
+	dLon := p.Lon - base.Lon
+	for dLon > math.Pi {
+		dLon -= 2 * math.Pi
+	}
+	for dLon < -math.Pi {
+		dLon += 2 * math.Pi
+	}
+	eastKm = dLon * orbit.EarthRadiusKm * math.Cos(base.Lat)
+	return northKm, eastKm
+}
+
+// Solve estimates the emitter position and carrier frequency from the
+// measurements, starting from the initial position guess and carrier
+// guess. A non-nil prior is fused as pseudo-measurements (sequential
+// localization); its covariance must be positive definite.
+func (est Estimator) Solve(meas []Measurement, initial orbit.LatLon, carrierGuessHz float64, prior *Estimate) (Estimate, error) {
+	maxIter := est.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := est.TolKm
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	if len(meas) == 0 {
+		return Estimate{}, fmt.Errorf("geoloc: no measurements")
+	}
+	for i, m := range meas {
+		if err := m.Validate(); err != nil {
+			return Estimate{}, fmt.Errorf("geoloc: measurement %d: %w", i, err)
+		}
+	}
+	if carrierGuessHz <= 0 || math.IsNaN(carrierGuessHz) {
+		return Estimate{}, fmt.Errorf("geoloc: carrier guess %g Hz must be positive", carrierGuessHz)
+	}
+	var priorWhitener *mat.Cholesky
+	if prior != nil {
+		if prior.Covariance == nil {
+			return Estimate{}, fmt.Errorf("geoloc: prior estimate lacks covariance")
+		}
+		prec, err := mat.Inverse(prior.Covariance)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("geoloc: prior covariance not invertible: %w", err)
+		}
+		priorWhitener, err = mat.FactorCholesky(prec)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("geoloc: prior precision not positive definite: %w", err)
+		}
+	}
+
+	pos := initial
+	f0 := carrierGuessHz
+	rows := len(meas)
+	if prior != nil {
+		rows += 3
+	}
+
+	var lastInfo *mat.Matrix
+	converged := false
+	iters := 0
+	cost := est.cost(meas, pos, f0, prior, priorWhitener)
+	// Levenberg–Marquardt damping: robust in the weakly observable
+	// cross-track valley of single-pass Doppler geometry, where plain
+	// Gauss–Newton oscillates.
+	lm := 1e-3
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		a, r := est.linearize(meas, pos, f0, prior, priorWhitener, rows)
+		info, err := a.T().Mul(a)
+		if err != nil {
+			return Estimate{}, err
+		}
+		lastInfo = info
+		grad, err := a.T().MulVec(r)
+		if err != nil {
+			return Estimate{}, err
+		}
+		// Inner loop: raise the damping until a step reduces the cost.
+		accepted := false
+		var step []float64
+		var newCost float64
+		for tries := 0; tries < 32; tries++ {
+			damped := info.Clone()
+			for i := 0; i < 3; i++ {
+				d := info.At(i, i)
+				if d <= 0 {
+					d = 1
+				}
+				damped.Add(i, i, lm*d)
+			}
+			step, err = mat.Solve(damped, grad)
+			if err != nil {
+				lm *= 4
+				continue
+			}
+			cand := offsetPosition(pos, step[0], step[1])
+			candF0 := f0 + step[2]
+			newCost = est.cost(meas, cand, candF0, prior, priorWhitener)
+			if newCost <= cost {
+				pos, f0 = cand, candF0
+				accepted = true
+				lm = math.Max(lm/3, 1e-12)
+				break
+			}
+			lm *= 4
+		}
+		if !accepted {
+			// No damping produces an improvement: the objective is at
+			// its numerical floor.
+			converged = true
+			break
+		}
+		// Converged when the accepted step is tiny — absolutely, or
+		// relative to the posterior position uncertainty (a step a
+		// thousandth of the error ellipse cannot change the answer
+		// meaningfully) — or when the cost has plateaued at its noise
+		// floor (relative improvement below 1e-12) while heavily damped.
+		effTol := tol
+		if cov, covErr := mat.Inverse(info); covErr == nil {
+			if sigma := math.Sqrt(cov.At(0, 0) + cov.At(1, 1)); sigma > 0 {
+				effTol = math.Max(tol, 1e-3*sigma)
+			}
+		}
+		plateau := cost-newCost <= 1e-12*(1+cost) && lm > 1
+		cost = newCost
+		if math.Hypot(step[0], step[1]) < effTol || plateau {
+			converged = true
+			break
+		}
+	}
+
+	if lastInfo == nil {
+		// Zero-iteration escape cannot happen (maxIter >= 1), but guard.
+		return Estimate{}, ErrNotConverged
+	}
+	cov, err := mat.Inverse(lastInfo)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("geoloc: covariance extraction: %w", err)
+	}
+	nMeas := len(meas)
+	if prior != nil {
+		nMeas += prior.Measurements
+	}
+	out := Estimate{
+		Position:     pos,
+		FreqHz:       f0,
+		Covariance:   cov,
+		Iterations:   iters,
+		Measurements: nMeas,
+	}
+	if !converged {
+		return out, ErrNotConverged
+	}
+	return out, nil
+}
+
+// linearize builds the whitened Jacobian and residual at (pos, f0).
+func (est Estimator) linearize(meas []Measurement, pos orbit.LatLon, f0 float64, prior *Estimate, whitener *mat.Cholesky, rows int) (*mat.Matrix, []float64) {
+	a := mat.New(rows, 3)
+	r := make([]float64, rows)
+	const (
+		deltaKm = 0.01 // 10 m position perturbation for finite differences
+		deltaHz = 1.0
+	)
+	for i, m := range meas {
+		pred := predictedFrequency(pos, f0, m.Time, m.SatPos, m.SatVel)
+		r[i] = (m.FreqHz - pred) / m.SigmaHz
+		dn := predictedFrequency(offsetPosition(pos, deltaKm, 0), f0, m.Time, m.SatPos, m.SatVel)
+		de := predictedFrequency(offsetPosition(pos, 0, deltaKm), f0, m.Time, m.SatPos, m.SatVel)
+		df := predictedFrequency(pos, f0+deltaHz, m.Time, m.SatPos, m.SatVel)
+		a.Set(i, 0, (dn-pred)/deltaKm/m.SigmaHz)
+		a.Set(i, 1, (de-pred)/deltaKm/m.SigmaHz)
+		a.Set(i, 2, (df-pred)/deltaHz/m.SigmaHz)
+	}
+	if prior != nil {
+		// Whitened prior residual: L where precision = L Lᵀ; rows are
+		// Lᵀ (residual and identity Jacobian in ENU+Hz space).
+		n, e := enuOffset(pos, prior.Position)
+		resid := []float64{n, e, prior.FreqHz - f0}
+		l := whitener.L()
+		base := len(meas)
+		for i := 0; i < 3; i++ {
+			var ri float64
+			for j := 0; j < 3; j++ {
+				// Row i of Lᵀ is column i of L.
+				lv := l.At(j, i)
+				a.Set(base+i, j, lv)
+				ri += lv * resid[j]
+			}
+			r[base+i] = ri
+		}
+	}
+	return a, r
+}
+
+// cost is the weighted sum of squared residuals at (pos, f0).
+func (est Estimator) cost(meas []Measurement, pos orbit.LatLon, f0 float64, prior *Estimate, whitener *mat.Cholesky) float64 {
+	var c float64
+	for _, m := range meas {
+		pred := predictedFrequency(pos, f0, m.Time, m.SatPos, m.SatVel)
+		d := (m.FreqHz - pred) / m.SigmaHz
+		c += d * d
+	}
+	if prior != nil {
+		n, e := enuOffset(pos, prior.Position)
+		resid := []float64{n, e, prior.FreqHz - f0}
+		l := whitener.L()
+		for i := 0; i < 3; i++ {
+			var ri float64
+			for j := 0; j < 3; j++ {
+				ri += l.At(j, i) * resid[j]
+			}
+			c += ri * ri
+		}
+	}
+	return c
+}
+
+// Sensor simulates the onboard RF payload: it generates noisy received-
+// frequency measurements of an emitter from a satellite's trajectory.
+type Sensor struct {
+	// CarrierHz is the emitter's true carrier frequency.
+	CarrierHz float64
+	// NoiseHz is the 1σ frequency measurement noise.
+	NoiseHz float64
+}
+
+// Observe samples measurements of the emitter at the given times along
+// the orbit. rng may be nil for noiseless measurements.
+func (s Sensor) Observe(o orbit.CircularOrbit, emitter orbit.LatLon, times []float64, rng *stats.RNG) ([]Measurement, error) {
+	if s.CarrierHz <= 0 || math.IsNaN(s.CarrierHz) {
+		return nil, fmt.Errorf("geoloc: carrier %g Hz must be positive", s.CarrierHz)
+	}
+	if s.NoiseHz <= 0 || math.IsNaN(s.NoiseHz) {
+		return nil, fmt.Errorf("geoloc: noise σ = %g Hz must be positive", s.NoiseHz)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("geoloc: no sample times")
+	}
+	out := make([]Measurement, len(times))
+	for i, t := range times {
+		p := o.PositionECI(t)
+		v := o.VelocityECI(t)
+		f := predictedFrequency(emitter, s.CarrierHz, t, p, v)
+		if rng != nil {
+			f += rng.NormSigma(0, s.NoiseHz)
+		}
+		out[i] = Measurement{Time: t, SatPos: p, SatVel: v, FreqHz: f, SigmaHz: s.NoiseHz}
+	}
+	return out, nil
+}
+
+// PassTimes returns n sample times spanning [start, end] inclusive — the
+// measurement schedule for one footprint pass over the target.
+func PassTimes(start, end float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("geoloc: need at least 2 samples, got %d", n)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("geoloc: pass interval [%g, %g] is empty", start, end)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + (end-start)*float64(i)/float64(n-1)
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package geoloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"satqos/internal/orbit"
+	"satqos/internal/stats"
+)
+
+const (
+	carrierHz = 450e6 // UHF emitter
+	noiseHz   = 1.0
+)
+
+// refOrbit returns a 90-minute orbit whose satellite passes directly over
+// the reference emitter near t = 0.
+func refOrbit(t *testing.T, raan, phase float64) orbit.CircularOrbit {
+	t.Helper()
+	o, err := orbit.NewCircularOrbit(90, 86*math.Pi/180, raan, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// emitterUnder returns a ground position under the orbit at time t0.
+func emitterUnder(o orbit.CircularOrbit, t0 float64) orbit.LatLon {
+	return o.SubSatellite(t0)
+}
+
+func observe(t *testing.T, o orbit.CircularOrbit, emitter orbit.LatLon, start, end float64, n int, seed uint64) []Measurement {
+	t.Helper()
+	s := Sensor{CarrierHz: carrierHz, NoiseHz: noiseHz}
+	times, err := PassTimes(start, end, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng *stats.RNG
+	if seed != 0 {
+		rng = stats.NewRNG(seed, 0)
+	}
+	meas, err := s.Observe(o, emitter, times, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meas
+}
+
+func TestPredictedFrequencySignFlip(t *testing.T) {
+	// Approaching satellite: received frequency above carrier; receding:
+	// below. Use a satellite that passes overhead at t = 2.
+	o := refOrbit(t, 0, 0)
+	emitter := emitterUnder(o, 2)
+	before := predictedFrequency(emitter, carrierHz, 0, o.PositionECI(0), o.VelocityECI(0))
+	after := predictedFrequency(emitter, carrierHz, 4, o.PositionECI(4), o.VelocityECI(4))
+	if before <= carrierHz {
+		t.Errorf("approaching frequency %v should exceed carrier", before)
+	}
+	if after >= carrierHz {
+		t.Errorf("receding frequency %v should be below carrier", after)
+	}
+}
+
+func TestSolveNoiselessRecoversTruth(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	meas := observe(t, o, truth, 0, 4, 9, 0) // noiseless
+	// Initial guess 60 km off-track, carrier off by 400 Hz.
+	guess := offsetPosition(truth, 40, -45)
+	est, err := (Estimator{}).Solve(meas, guess, carrierHz-400, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if d := est.DistanceKm(truth); d > 0.5 {
+		t.Errorf("noiseless position error = %v km, want < 0.5", d)
+	}
+	if math.Abs(est.FreqHz-carrierHz) > 1 {
+		t.Errorf("carrier error = %v Hz", est.FreqHz-carrierHz)
+	}
+	if est.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+	if est.Measurements != 9 {
+		t.Errorf("Measurements = %d, want 9", est.Measurements)
+	}
+}
+
+func TestSolveNoisySinglePass(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	meas := observe(t, o, truth, 0, 4, 9, 77)
+	guess := offsetPosition(truth, 30, 30)
+	est, err := (Estimator{}).Solve(meas, guess, carrierHz-200, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Noisy single pass: errors of a few km are expected; tens of km are
+	// not.
+	if d := est.DistanceKm(truth); d > 25 {
+		t.Errorf("single-pass error = %v km, want < 25", d)
+	}
+	if e := est.ErrorKm(); e <= 0 || math.IsInf(e, 1) {
+		t.Errorf("ErrorKm = %v", e)
+	}
+}
+
+// The heart of the paper's mechanism: a second satellite pass fused via
+// sequential localization must shrink the estimated error, and a
+// simultaneous dual observation must beat a single pass.
+func TestSequentialLocalizationImprovesAccuracy(t *testing.T) {
+	o1 := refOrbit(t, 0, 0)
+	truth := emitterUnder(o1, 2)
+	// Second satellite in the same plane, one revisit interval behind
+	// (Tr = 90/10 = 9 min for a k = 10 plane).
+	o2 := refOrbit(t, 0, -2*math.Pi/10)
+
+	meas1 := observe(t, o1, truth, 0, 4, 9, 101)
+	guess := offsetPosition(truth, 25, -30)
+	first, err := (Estimator{}).Solve(meas1, guess, carrierHz-300, nil)
+	if err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+
+	// Satellite 2 passes the target ~9 minutes later; fuse its
+	// measurements with the first estimate as prior.
+	meas2 := observe(t, o2, truth, 9, 13, 9, 102)
+	second, err := (Estimator{}).Solve(meas2, first.Position, first.FreqHz, &first)
+	if err != nil {
+		t.Fatalf("second pass: %v", err)
+	}
+	if second.ErrorKm() >= first.ErrorKm() {
+		t.Errorf("sequential fusion did not reduce estimated error: %v -> %v",
+			first.ErrorKm(), second.ErrorKm())
+	}
+	if second.Measurements != 18 {
+		t.Errorf("fused measurement count = %d, want 18", second.Measurements)
+	}
+	// And the realized error should (statistically) improve too; allow
+	// equality noise but not gross degradation.
+	if second.DistanceKm(truth) > first.DistanceKm(truth)+5 {
+		t.Errorf("realized error grew: %v -> %v km",
+			first.DistanceKm(truth), second.DistanceKm(truth))
+	}
+}
+
+func TestSimultaneousDualBeatsSingle(t *testing.T) {
+	// Two satellites in adjacent planes observing the same pass window:
+	// cross-track geometry diversity collapses the error ellipse.
+	o1 := refOrbit(t, 0, 0)
+	truth := emitterUnder(o1, 2)
+	o2 := refOrbit(t, math.Pi/7, -0.12)
+
+	meas1 := observe(t, o1, truth, 0, 4, 9, 201)
+	guess := offsetPosition(truth, 20, 25)
+	single, err := (Estimator{}).Solve(meas1, guess, carrierHz+100, nil)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	meas2 := observe(t, o2, truth, 0, 4, 9, 202)
+	dual, err := (Estimator{}).Solve(append(append([]Measurement{}, meas1...), meas2...), guess, carrierHz+100, nil)
+	if err != nil {
+		t.Fatalf("dual: %v", err)
+	}
+	if dual.ErrorKm() >= single.ErrorKm() {
+		t.Errorf("simultaneous dual estimated error %v >= single %v",
+			dual.ErrorKm(), single.ErrorKm())
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	meas := observe(t, o, truth, 0, 4, 5, 0)
+	e := Estimator{}
+	if _, err := e.Solve(nil, truth, carrierHz, nil); err == nil {
+		t.Error("no measurements accepted")
+	}
+	if _, err := e.Solve(meas, truth, 0, nil); err == nil {
+		t.Error("zero carrier guess accepted")
+	}
+	bad := meas[0]
+	bad.SigmaHz = 0
+	if _, err := e.Solve([]Measurement{bad}, truth, carrierHz, nil); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	bad = meas[0]
+	bad.FreqHz = -1
+	if _, err := e.Solve([]Measurement{bad}, truth, carrierHz, nil); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	bad = meas[0]
+	bad.SatPos = orbit.Vec3{X: 1}
+	if _, err := e.Solve([]Measurement{bad}, truth, carrierHz, nil); err == nil {
+		t.Error("subterranean satellite accepted")
+	}
+	if _, err := e.Solve(meas, truth, carrierHz, &Estimate{}); err == nil {
+		t.Error("prior without covariance accepted")
+	}
+}
+
+func TestSensorValidation(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 0)
+	if _, err := (Sensor{CarrierHz: 0, NoiseHz: 1}).Observe(o, truth, []float64{0, 1}, nil); err == nil {
+		t.Error("zero carrier accepted")
+	}
+	if _, err := (Sensor{CarrierHz: 1e6, NoiseHz: 0}).Observe(o, truth, []float64{0, 1}, nil); err == nil {
+		t.Error("zero noise accepted")
+	}
+	if _, err := (Sensor{CarrierHz: 1e6, NoiseHz: 1}).Observe(o, truth, nil, nil); err == nil {
+		t.Error("empty times accepted")
+	}
+}
+
+func TestPassTimes(t *testing.T) {
+	ts, err := PassTimes(2, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5, 6}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-12 {
+			t.Errorf("PassTimes[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+	if _, err := PassTimes(2, 6, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := PassTimes(6, 2, 5); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	base, err := orbit.FromDegrees(30, -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := offsetPosition(base, 37, -21)
+	n, e := enuOffset(base, p)
+	if math.Abs(n-37) > 1e-6 || math.Abs(e+21) > 1e-6 {
+		t.Errorf("round trip = (%v, %v), want (37, -21)", n, e)
+	}
+}
+
+func TestEstimateErrorKmWithoutCovariance(t *testing.T) {
+	var e Estimate
+	if !math.IsInf(e.ErrorKm(), 1) {
+		t.Errorf("ErrorKm without covariance = %v, want +Inf", e.ErrorKm())
+	}
+}
+
+func TestNotConvergedIsTyped(t *testing.T) {
+	// A single measurement cannot determine three unknowns; the solver
+	// must not claim convergence to a meaningful solution silently — it
+	// either converges to the (degenerate) least-norm step or reports
+	// ErrNotConverged; both are acceptable, but an untyped failure is
+	// not.
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	meas := observe(t, o, truth, 0, 4, 2, 5)
+	_, err := (Estimator{MaxIter: 3, TolKm: 1e-12}).Solve(meas, offsetPosition(truth, 200, 200), carrierHz-5000, nil)
+	if err != nil && !errors.Is(err, ErrNotConverged) {
+		// Rank deficiency surfacing through the linear algebra is also a
+		// legitimate typed outcome.
+		t.Logf("solver reported: %v", err)
+	}
+}
+
+func BenchmarkSolveSinglePass(b *testing.B) {
+	o, err := orbit.NewCircularOrbit(90, 86*math.Pi/180, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := o.SubSatellite(2)
+	s := Sensor{CarrierHz: carrierHz, NoiseHz: noiseHz}
+	times, err := PassTimes(0, 4, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meas, err := s.Observe(o, truth, times, stats.NewRNG(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	guess := offsetPosition(truth, 30, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Estimator{}).Solve(meas, guess, carrierHz, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

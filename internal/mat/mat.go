@@ -1,0 +1,267 @@
+// Package mat implements the small dense linear-algebra substrate needed
+// by the geolocation estimator: matrices, vectors, LU and Cholesky
+// factorizations, and QR-based least squares.
+//
+// The paper's sequential-localization mechanism ([4] Levanon 1998, [5]
+// Chan & Towers 1992) rests on an iterative weighted least-squares
+// solver; this package provides exactly the operations that solver needs,
+// with no external dependencies.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix. It panics if either dimension is
+// not positive, since a zero-dimension matrix is always a programming
+// error in this codebase.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// nonzero length. The data is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("mat: FromRows: empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("mat: FromRows: row %d has %d entries, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add increments the element at (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d, %d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("mat: Mul dimension mismatch: %dx%d × %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v for a column vector v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("mat: MulVec dimension mismatch: %dx%d × %d", m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by s, in place, and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Plus returns m + b as a new matrix.
+func (m *Matrix) Plus(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("mat: Plus dimension mismatch: %dx%d + %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Minus returns m − b as a new matrix.
+func (m *Matrix) Minus(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("mat: Minus dimension mismatch: %dx%d - %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("mat: Trace of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s, nil
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%10.4g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("mat: Dot length mismatch: %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow by
+// scaling.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// AXPY computes y ← a·x + y in place.
+func AXPY(a float64, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("mat: AXPY length mismatch: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return nil
+}

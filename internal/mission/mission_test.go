@@ -1,0 +1,159 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/signal"
+	"satqos/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Constellation.Planes = 0 },
+		func(c *Config) { c.Scheme = 0 },
+		func(c *Config) { c.TauMin = 0 },
+		func(c *Config) { c.SignalRatePerMin = 0 },
+		func(c *Config) { c.SignalDuration = nil },
+		func(c *Config) { c.Position = nil },
+		func(c *Config) { c.CarrierHz = 0 },
+		func(c *Config) { c.NoiseHz = 0 },
+		func(c *Config) { c.SamplesPerPass = 1 },
+		func(c *Config) { c.InitialGuessKm = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Run(cfg, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	cfg.TauMin = 0
+	if _, err := Run(cfg, 100); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMissionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-constellation mission skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.SignalRatePerMin = 0.1
+	rep, err := Run(cfg, 600) // ~60 signals over 10 hours
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes < 30 {
+		t.Fatalf("only %d episodes generated", rep.Episodes)
+	}
+	// The full constellation covers the 30° band completely: everything
+	// is detected and nothing is missed.
+	if rep.DetectedFraction < 0.99 {
+		t.Errorf("detected fraction = %v, want ≈1 (full constellation)", rep.DetectedFraction)
+	}
+	if rep.PMF[qos.LevelMiss] > 0.01 {
+		t.Errorf("miss mass = %v, want ≈0", rep.PMF[qos.LevelMiss])
+	}
+	// Total mass ≈ 1.
+	if math.Abs(rep.PMF.Total()-1) > 1e-9 {
+		t.Errorf("PMF mass = %v", rep.PMF.Total())
+	}
+	// At full capacity with heavy inter-plane overlap in the band, a
+	// large share of signals reach level 3.
+	if rep.PMF[qos.LevelSimultaneousDual] < 0.3 {
+		t.Errorf("simultaneous-dual mass = %v, want substantial", rep.PMF[qos.LevelSimultaneousDual])
+	}
+	// Accuracy ordering: multi-coverage estimates beat single-coverage
+	// ones (the premise of the QoS spectrum), when both classes occur.
+	single, okS := rep.MeanRealizedErrorKm[qos.LevelSingle]
+	dual, okD := rep.MeanRealizedErrorKm[qos.LevelSimultaneousDual]
+	if okS && okD && dual >= single {
+		t.Errorf("realized error ordering violated: dual %v >= single %v", dual, single)
+	}
+	for level, est := range rep.MeanEstimatedErrorKm {
+		if est <= 0 || math.IsNaN(est) {
+			t.Errorf("level %v: estimated error %v", level, est)
+		}
+	}
+	if len(rep.Outcomes) != rep.Episodes {
+		t.Errorf("outcomes %d != episodes %d", len(rep.Outcomes), rep.Episodes)
+	}
+}
+
+func TestMissionOAQBeatsBAQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-constellation mission skipped in -short mode")
+	}
+	oaqCfg := DefaultConfig()
+	oaqCfg.SignalRatePerMin = 0.1
+	baqCfg := oaqCfg
+	baqCfg.Scheme = qos.SchemeBAQ
+	oaqRep, err := Run(oaqCfg, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baqRep, err := Run(baqCfg, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → same signals; OAQ's withhold-and-wait can only move
+	// mass upward.
+	if oaqRep.PMF.CCDF(qos.LevelSequentialDual) < baqRep.PMF.CCDF(qos.LevelSequentialDual) {
+		t.Errorf("OAQ P(Y>=2) = %v < BAQ %v",
+			oaqRep.PMF.CCDF(qos.LevelSequentialDual), baqRep.PMF.CCDF(qos.LevelSequentialDual))
+	}
+	// BAQ never produces sequential-dual results.
+	if baqRep.PMF[qos.LevelSequentialDual] != 0 {
+		t.Errorf("BAQ produced sequential mass %v", baqRep.PMF[qos.LevelSequentialDual])
+	}
+}
+
+// A sparse, degraded constellation (single plane at threshold capacity)
+// leaves genuine coverage gaps: some short signals escape.
+func TestMissionDegradedConstellationMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Constellation.Planes = 1
+	cfg.Constellation.ActivePerPlane = 10
+	cfg.Constellation.SparesPerPlane = 0
+	cfg.SignalRatePerMin = 0.05
+	cfg.SignalDuration = stats.Exponential{Rate: 2} // 30-second signals
+	cfg.Position = signal.LatitudeBand{MinLatDeg: -60, MaxLatDeg: 60}
+	rep, err := Run(cfg, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes < 20 {
+		t.Fatalf("only %d episodes", rep.Episodes)
+	}
+	if rep.DetectedFraction > 0.9 {
+		t.Errorf("detected fraction = %v; a single-plane constellation should miss short signals",
+			rep.DetectedFraction)
+	}
+	if rep.PMF[qos.LevelMiss] == 0 {
+		t.Error("no misses recorded in a gapped constellation")
+	}
+}
+
+func BenchmarkMissionEpisodeThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.SignalRatePerMin = 0.2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := Run(cfg, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := NewLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single knot")
+	}
+	if _, err := NewLinear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for non-increasing xs")
+	}
+	if _, err := NewLinear([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for decreasing xs")
+	}
+}
+
+func TestLinearAt(t *testing.T) {
+	l, err := NewLinear([]float64{0, 1, 3}, []float64{0, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ x, want float64 }{
+		{0, 0}, {0.5, 5}, {1, 10}, {2, 20}, {3, 30},
+		{-5, 0},  // constant extrapolation left
+		{99, 30}, // constant extrapolation right
+	}
+	for _, tt := range tests {
+		if got := l.At(tt.x); !ApproxEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestLinearIsIndependentOfCallerMutation(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	l, err := NewLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs[0], ys[1] = 99, -99
+	if got := l.At(0.5); !ApproxEqual(got, 0.5, 1e-12) {
+		t.Errorf("interpolant changed after caller mutation: At(0.5) = %v", got)
+	}
+}
+
+// Interpolation of a linear function is exact everywhere inside the knots.
+func TestLinearExactOnLinesProperty(t *testing.T) {
+	prop := func(m, c, raw float64) bool {
+		m = math.Mod(m, 50)
+		c = math.Mod(c, 50)
+		xs := []float64{0, 0.7, 1.9, 4.2, 8}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = m*x + c
+		}
+		l, err := NewLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		x := math.Mod(math.Abs(raw), 8)
+		return ApproxEqual(l.At(x), m*x+c, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	tests := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 2, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative comparison
+		{0, 1e-12, 1e-9, true},
+		{math.NaN(), 1, 1e-9, false},
+		{1, math.NaN(), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+	}
+	for _, tt := range tests {
+		if got := ApproxEqual(tt.a, tt.b, tt.tol); got != tt.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", tt.a, tt.b, tt.tol, got, tt.want)
+		}
+	}
+}
+
+func TestLinspaceLogspace(t *testing.T) {
+	lin := Linspace(0, 1, 5)
+	wantLin := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range lin {
+		if !ApproxEqual(lin[i], wantLin[i], 1e-12) {
+			t.Errorf("Linspace[%d] = %v, want %v", i, lin[i], wantLin[i])
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+
+	log := Logspace(1e-5, 1e-4, 3)
+	if log[0] != 1e-5 || log[2] != 1e-4 {
+		t.Errorf("Logspace endpoints = %v", log)
+	}
+	if !ApproxEqual(log[1], math.Sqrt(1e-5*1e-4), 1e-9) {
+		t.Errorf("Logspace midpoint = %v, want geometric mean", log[1])
+	}
+	if got := Logspace(2, 8, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Logspace n=1 = %v", got)
+	}
+}

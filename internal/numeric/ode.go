@@ -1,0 +1,84 @@
+package numeric
+
+import "fmt"
+
+// Derivative computes dy/dt at time t for state y, writing the result
+// into dydt. dydt and y always have the same length and do not alias.
+type Derivative func(t float64, y, dydt []float64)
+
+// RK4 integrates y' = f(t, y) from t0 to t1 with the classical
+// fixed-step fourth-order Runge–Kutta method using steps of size at most
+// h. The final step is shortened to land exactly on t1. The state y is
+// updated in place and also returned.
+//
+// It is used for transient CTMC solutions where uniformization is not
+// applicable (time-inhomogeneous rates) and for validating the
+// uniformization solver in package san.
+func RK4(f Derivative, y []float64, t0, t1, h float64) ([]float64, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("numeric: RK4 step %g must be positive", h)
+	}
+	if t1 < t0 {
+		return nil, fmt.Errorf("numeric: RK4 interval [%g, %g] is reversed", t0, t1)
+	}
+	n := len(y)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+
+	t := t0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + step/2*k1[i]
+		}
+		f(t+step/2, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + step/2*k2[i]
+		}
+		f(t+step/2, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + step*k3[i]
+		}
+		f(t+step, tmp, k4)
+		for i := range y {
+			y[i] += step / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += step
+	}
+	return y, nil
+}
+
+// RK4Path integrates like RK4 but records the state at each of the
+// points+1 uniformly spaced grid times over [t0, t1] (inclusive of both
+// endpoints), using internal steps of size at most h between grid points.
+// The returned slice has points+1 rows; row i is the state at
+// t0 + i*(t1-t0)/points. The input state y is consumed.
+func RK4Path(f Derivative, y []float64, t0, t1, h float64, points int) ([][]float64, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("numeric: RK4Path needs at least 1 interval, got %d", points)
+	}
+	out := make([][]float64, 0, points+1)
+	snap := func() {
+		row := make([]float64, len(y))
+		copy(row, y)
+		out = append(out, row)
+	}
+	snap()
+	dt := (t1 - t0) / float64(points)
+	for i := 0; i < points; i++ {
+		a := t0 + float64(i)*dt
+		b := t0 + float64(i+1)*dt
+		if _, err := RK4(f, y, a, b, h); err != nil {
+			return nil, err
+		}
+		snap()
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	// y' = -y, y(0) = 1 → y(t) = e^{-t}.
+	f := func(t float64, y, dydt []float64) { dydt[0] = -y[0] }
+	y, err := RK4(f, []float64{1}, 0, 2, 1e-3)
+	if err != nil {
+		t.Fatalf("RK4: %v", err)
+	}
+	if !ApproxEqual(y[0], math.Exp(-2), 1e-9) {
+		t.Errorf("y(2) = %v, want %v", y[0], math.Exp(-2))
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// y'' = -y as a 2-d system; energy and solution both checked.
+	f := func(t float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	y, err := RK4(f, []float64{1, 0}, 0, 2*math.Pi, 1e-3)
+	if err != nil {
+		t.Fatalf("RK4: %v", err)
+	}
+	if !ApproxEqual(y[0], 1, 1e-8) || math.Abs(y[1]) > 1e-8 {
+		t.Errorf("after full period y = %v, want [1 0]", y)
+	}
+}
+
+func TestRK4TwoStateMarkov(t *testing.T) {
+	// dp/dt = p Q for a two-state chain with rates a=1 (0→1), b=2 (1→0).
+	// Steady state is (b, a)/(a+b) = (2/3, 1/3).
+	a, b := 1.0, 2.0
+	f := func(t float64, p, dpdt []float64) {
+		dpdt[0] = -a*p[0] + b*p[1]
+		dpdt[1] = a*p[0] - b*p[1]
+	}
+	p, err := RK4(f, []float64{1, 0}, 0, 50, 1e-2)
+	if err != nil {
+		t.Fatalf("RK4: %v", err)
+	}
+	if !ApproxEqual(p[0], 2.0/3, 1e-8) || !ApproxEqual(p[1], 1.0/3, 1e-8) {
+		t.Errorf("steady state = %v, want [2/3 1/3]", p)
+	}
+	if !ApproxEqual(p[0]+p[1], 1, 1e-10) {
+		t.Errorf("probability mass not conserved: %v", p[0]+p[1])
+	}
+}
+
+func TestRK4Path(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = -y[0] }
+	path, err := RK4Path(f, []float64{1}, 0, 1, 1e-3, 10)
+	if err != nil {
+		t.Fatalf("RK4Path: %v", err)
+	}
+	if len(path) != 11 {
+		t.Fatalf("len(path) = %d, want 11", len(path))
+	}
+	for i, row := range path {
+		want := math.Exp(-float64(i) / 10)
+		if !ApproxEqual(row[0], want, 1e-9) {
+			t.Errorf("path[%d] = %v, want %v", i, row[0], want)
+		}
+	}
+}
+
+func TestRK4Errors(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = 0 }
+	if _, err := RK4(f, []float64{1}, 0, 1, 0); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if _, err := RK4(f, []float64{1}, 1, 0, 0.1); err == nil {
+		t.Error("expected error for reversed interval")
+	}
+	if _, err := RK4Path(f, []float64{1}, 0, 1, 0.1, 0); err == nil {
+		t.Error("expected error for zero grid points")
+	}
+}

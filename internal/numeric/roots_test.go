@@ -1,0 +1,85 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentKnownRoots(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 2*x - 4 }, 0, 10, 2},
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{"root at left", func(x float64) float64 { return x - 1 }, 1, 5, 1},
+		{"root at right", func(x float64) float64 { return x - 5 }, 1, 5, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Brent(tt.f, tt.a, tt.b, 1e-12)
+			if err != nil {
+				t.Fatalf("Brent: %v", err)
+			}
+			if !ApproxEqual(got, tt.want, 1e-9) {
+				t.Errorf("Brent = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBrentRejectsNonBracketing(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err == nil {
+		t.Fatal("expected error for non-bracketing interval")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	got, err := Bisect(func(x float64) float64 { return x*x*x - 27 }, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !ApproxEqual(got, 3, 1e-8) {
+		t.Errorf("Bisect = %v, want 3", got)
+	}
+	// Discontinuous step: bisection still brackets the jump.
+	step := func(x float64) float64 {
+		if x < 1.25 {
+			return -1
+		}
+		return 1
+	}
+	got, err = Bisect(step, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatalf("Bisect step: %v", err)
+	}
+	if !ApproxEqual(got, 1.25, 1e-8) {
+		t.Errorf("Bisect step = %v, want 1.25", got)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Fatal("expected error for non-bracketing interval")
+	}
+}
+
+// For any increasing continuous function, Brent recovers the preimage:
+// Brent(f - y) == f^{-1}(y).
+func TestBrentInversionProperty(t *testing.T) {
+	f := func(x float64) float64 { return x + math.Exp(x/10) }
+	prop := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 20)
+		y := f(x)
+		root, err := Brent(func(v float64) float64 { return f(v) - y }, -1, 25, 1e-13)
+		if err != nil {
+			return false
+		}
+		return ApproxEqual(root, x, 1e-8)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package oaq
+
+import (
+	"fmt"
+	"math"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// Evaluation aggregates Monte-Carlo episodes of the protocol into the
+// empirical counterpart of the paper's QoS measures.
+type Evaluation struct {
+	// Episodes is the number of simulated signal episodes.
+	Episodes int
+	// PMF is the empirical P(Y = y).
+	PMF qos.PMF
+	// DeliveredFraction is the fraction of episodes in which an alert
+	// was sent by the deadline (excludes escaped targets, which have
+	// nothing to deliver).
+	DeliveredFraction float64
+	// DetectedFraction is the fraction of episodes in which any
+	// footprint saw the signal.
+	DetectedFraction float64
+	// MeanChainLength is the average number of passes fused into the
+	// delivered results (over delivered episodes).
+	MeanChainLength float64
+	// MeanMessages is the average number of crosslink messages per
+	// episode.
+	MeanMessages float64
+	// MeanDeliveryLatency is the average alert send time relative to t0
+	// over delivered episodes.
+	MeanDeliveryLatency float64
+	// Terminations histograms the termination causes.
+	Terminations map[Termination]int
+}
+
+// CCDF returns the empirical P(Y >= y).
+func (e *Evaluation) CCDF(y qos.Level) float64 { return e.PMF.CCDF(y) }
+
+// CI95 returns the 95% half-width for the empirical P(Y >= y).
+func (e *Evaluation) CI95(y qos.Level) float64 {
+	p := e.CCDF(y)
+	if e.Episodes == 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(e.Episodes))
+}
+
+// Evaluate runs the protocol for the given number of episodes and
+// aggregates the outcomes.
+func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("oaq: episode count %d must be positive", episodes)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("oaq: RNG is required")
+	}
+	ev := &Evaluation{
+		Episodes:     episodes,
+		Terminations: make(map[Termination]int),
+	}
+	var (
+		levelCounts [qos.NumLevels]int
+		delivered   int
+		detected    int
+		chainSum    int
+		msgSum      int
+		latencySum  float64
+	)
+	for i := 0; i < episodes; i++ {
+		res, err := RunEpisode(p, rng)
+		if err != nil {
+			return nil, fmt.Errorf("oaq: episode %d: %w", i, err)
+		}
+		levelCounts[res.Level]++
+		if res.Detected {
+			detected++
+		}
+		if res.Delivered {
+			delivered++
+			chainSum += res.ChainLength
+			latencySum += res.DeliveryLatency
+		}
+		msgSum += res.MessagesSent
+		ev.Terminations[res.Termination]++
+	}
+	for l, n := range levelCounts {
+		ev.PMF[l] = float64(n) / float64(episodes)
+	}
+	ev.DeliveredFraction = float64(delivered) / float64(episodes)
+	ev.DetectedFraction = float64(detected) / float64(episodes)
+	ev.MeanMessages = float64(msgSum) / float64(episodes)
+	if delivered > 0 {
+		ev.MeanChainLength = float64(chainSum) / float64(delivered)
+		ev.MeanDeliveryLatency = latencySum / float64(delivered)
+	}
+	return ev, nil
+}

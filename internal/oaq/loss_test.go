@@ -1,0 +1,115 @@
+package oaq
+
+import (
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+func TestMessageLossValidation(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.MessageLossProb = 1
+	if err := p.Validate(); err == nil {
+		t.Error("loss probability 1 accepted")
+	}
+	p.MessageLossProb = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+// Lossy crosslinks under backward messaging: a lost coordination
+// request or done notification falls back to the requester's timeout,
+// so every detected signal still produces a timely alert — at a reduced
+// QoS level.
+func TestLossyCrosslinksBackwardStillDelivers(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.BackwardMessaging = true
+	p.MessageLossProb = 0.5
+	rng := stats.NewRNG(21, 0)
+	ev, err := Evaluate(p, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.DeliveredFraction < ev.DetectedFraction-1e-9 {
+		t.Errorf("lossy backward: delivered %v < detected %v",
+			ev.DeliveredFraction, ev.DetectedFraction)
+	}
+	// Losses shrink — but do not eliminate — sequential coordination.
+	clean := ReferenceParams(10, qos.SchemeOAQ)
+	clean.BackwardMessaging = true
+	evClean, err := Evaluate(clean, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PMF[qos.LevelSequentialDual] >= evClean.PMF[qos.LevelSequentialDual] {
+		t.Errorf("50%% loss should reduce sequential mass: %v vs clean %v",
+			ev.PMF[qos.LevelSequentialDual], evClean.PMF[qos.LevelSequentialDual])
+	}
+	if ev.PMF[qos.LevelSequentialDual] == 0 {
+		t.Error("sequential coordination should survive some losses")
+	}
+}
+
+// Lossy crosslinks under no-backward messaging: a lost request leaves
+// the detecting satellite silently waiting for a peer that never heard
+// it, and the alert is lost — the variant's documented weakness,
+// extended from fail-silent peers to lossy links.
+func TestLossyCrosslinksNoBackwardLosesAlerts(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.BackwardMessaging = false
+	p.MessageLossProb = 0.5
+	rng := stats.NewRNG(22, 0)
+	ev, err := Evaluate(p, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.DeliveredFraction >= ev.DetectedFraction-0.01 {
+		t.Errorf("no-backward over a 50%%-lossy link should lose alerts: delivered %v of detected %v",
+			ev.DeliveredFraction, ev.DetectedFraction)
+	}
+}
+
+// BAQ never uses the crosslink for coordination, so message loss cannot
+// affect it at all.
+func TestLossDoesNotAffectBAQ(t *testing.T) {
+	clean := ReferenceParams(10, qos.SchemeBAQ)
+	lossy := ReferenceParams(10, qos.SchemeBAQ)
+	lossy.MessageLossProb = 0.9
+	evClean, err := Evaluate(clean, 3000, stats.NewRNG(23, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evLossy, err := Evaluate(lossy, 3000, stats.NewRNG(23, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
+		if evClean.PMF[y] != evLossy.PMF[y] {
+			t.Errorf("level %v: BAQ differs under loss: %v vs %v", y, evClean.PMF[y], evLossy.PMF[y])
+		}
+	}
+}
+
+// Determinism: identical parameters and seed produce identical
+// evaluations (the repository-wide reproducibility guarantee).
+func TestEvaluateDeterministic(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.MessageLossProb = 0.2
+	p.FailSilentProb = 0.1
+	a, err := Evaluate(p, 2000, stats.NewRNG(77, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(p, 2000, stats.NewRNG(77, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PMF != b.PMF {
+		t.Errorf("non-deterministic PMF: %v vs %v", a.PMF, b.PMF)
+	}
+	if a.MeanMessages != b.MeanMessages || a.DeliveredFraction != b.DeliveredFraction {
+		t.Error("non-deterministic aggregates")
+	}
+}

@@ -1,0 +1,98 @@
+package oaq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// The §3.3 worst-case guarantee, as a property over random protocol
+// parameters: with backward messaging and no fail-silence, every
+// detected signal yields an alert sent by the deadline, whatever the
+// capacity, deadline, rates, and protocol constants.
+func TestDeliveryGuaranteeProperty(t *testing.T) {
+	prop := func(seed uint64, rawK uint8, rawTau, rawMu, rawNu, rawDelta float64) bool {
+		k := 2 + int(rawK%13) // 2..14
+		tau := 0.5 + math.Mod(math.Abs(rawTau), 12)
+		mu := 0.05 + math.Mod(math.Abs(rawMu), 2)
+		nu := 1 + math.Mod(math.Abs(rawNu), 40)
+		delta := 0.005 + math.Mod(math.Abs(rawDelta), 0.05)
+		p := Params{
+			K:                 k,
+			Geom:              qos.ReferenceGeometry(),
+			Scheme:            qos.SchemeOAQ,
+			TauMin:            tau,
+			DeltaMin:          delta,
+			TgMin:             5 * delta,
+			SignalDuration:    stats.Exponential{Rate: mu},
+			ComputeTime:       stats.Exponential{Rate: nu},
+			BackwardMessaging: true,
+		}
+		rng := stats.NewRNG(seed, 9)
+		for i := 0; i < 25; i++ {
+			res, err := RunEpisode(p, rng)
+			if err != nil {
+				return false
+			}
+			if res.Detected && !res.Delivered {
+				t.Logf("guarantee violated: k=%d τ=%v µ=%v ν=%v δ=%v term=%v",
+					k, tau, mu, nu, delta, res.Termination)
+				return false
+			}
+			if res.Delivered && (res.DeliveryLatency < -1e-9 || res.DeliveryLatency > tau+1e-9) {
+				t.Logf("latency %v outside [0, τ=%v]", res.DeliveryLatency, tau)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Level semantics as a property: sequential-dual results always carry at
+// least two fused passes; simultaneous-dual results only appear in
+// overlapping geometry; misses only in underlapping geometry.
+func TestLevelSemanticsProperty(t *testing.T) {
+	prop := func(seed uint64, rawK uint8, baq bool) bool {
+		k := 2 + int(rawK%13)
+		scheme := qos.SchemeOAQ
+		if baq {
+			scheme = qos.SchemeBAQ
+		}
+		p := ReferenceParams(k, scheme)
+		overlap, err := p.Geom.Overlapping(k)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed, 10)
+		for i := 0; i < 25; i++ {
+			res, err := RunEpisode(p, rng)
+			if err != nil {
+				return false
+			}
+			switch res.Level {
+			case qos.LevelSequentialDual:
+				if res.ChainLength < 2 || overlap || baq {
+					return false
+				}
+			case qos.LevelSimultaneousDual:
+				if !overlap {
+					return false
+				}
+			case qos.LevelMiss:
+				if overlap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,525 @@
+package oaq
+
+import (
+	"fmt"
+	"math"
+
+	"satqos/internal/crosslink"
+	"satqos/internal/des"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// EpisodeResult reports one signal episode.
+type EpisodeResult struct {
+	// Level is the best QoS level of any alert sent by the deadline
+	// (LevelMiss when the target escaped or nothing was delivered in
+	// time).
+	Level qos.Level
+	// Detected reports whether any footprint saw the signal.
+	Detected bool
+	// Delivered reports whether an alert was sent by the deadline.
+	Delivered bool
+	// DetectionDelay is t0 − signal start (0 when covered at onset; NaN
+	// when never detected).
+	DetectionDelay float64
+	// DeliveryLatency is the send time of the level-defining alert,
+	// measured from t0 (NaN when nothing was delivered).
+	DeliveryLatency float64
+	// ChainLength is the number of satellite passes fused into the
+	// delivered result.
+	ChainLength int
+	// MessagesSent counts all crosslink messages (requests, done
+	// notifications, alerts).
+	MessagesSent int
+	// Termination is the cause that ended coordination.
+	Termination Termination
+}
+
+// message payloads.
+type requestPayload struct {
+	t0        float64
+	ordinal   int // receiver's ordinal n in the chain (1-based)
+	passes    int // passes fused so far (inherited result quality)
+	inherited qos.Level
+}
+
+type alertPayload struct {
+	level  qos.Level
+	passes int
+	t0     float64
+}
+
+// Protocol message kinds.
+const (
+	kindRequest = "coordination-request"
+	kindDone    = "coordination-done"
+	kindAlert   = "alert"
+)
+
+// episode is the runtime state of one signal episode.
+type episode struct {
+	p   Params
+	sim *des.Simulation
+	// net carries inter-satellite traffic (δ-bounded, possibly lossy);
+	// ground carries alert downlinks (δ-bounded, reliable — the paper's
+	// loss concerns are about crosslinks, and the delivery guarantee is
+	// stated for the alert having been *sent*).
+	net    *crosslink.Network
+	ground *crosslink.Network
+	rng    *stats.RNG
+
+	l1, tc          float64
+	sigStart        float64
+	sigEnd          float64
+	t0              float64
+	deadline        float64 // t0 + τ (absolute)
+	bestLevel       qos.Level
+	bestPasses      int
+	bestSentAt      float64
+	deliveredByTau  bool
+	termination     Termination
+	satellites      map[int]*satellite
+	terminationSeen bool
+	// failRollArmed gates the fail-silent lottery: the satellite that
+	// detects the signal is always healthy (the paper's failure model
+	// concerns the peers joining the coordination).
+	failRollArmed bool
+}
+
+// satellite is one protocol participant.
+type satellite struct {
+	ep          *episode
+	id          int // pass index: footprint covers [id·L1, id·L1 + Tc)
+	node        crosslink.NodeID
+	ordinal     int
+	passes      int
+	level       qos.Level
+	sentAlert   bool
+	forwarded   bool // responsibility passed to the next peer
+	doneFrom    bool // "coordination done" received from upstream
+	inherited   alertPayload
+	hasRequest  bool
+	requestFrom crosslink.NodeID
+}
+
+func (s *satellite) passStart() float64 { return float64(s.id) * s.ep.l1 }
+
+// coveringAt returns the pass indices whose footprints cover the target
+// at time t (at most two in the overlapping regime).
+func (e *episode) coveringAt(t float64) []int {
+	lo := int(math.Ceil((t - e.tc) / e.l1))
+	hi := int(math.Floor(t / e.l1))
+	var out []int
+	for j := lo; j <= hi; j++ {
+		start := float64(j) * e.l1
+		if start <= t && t < start+e.tc {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (e *episode) signalActiveAt(t float64) bool {
+	return t >= e.sigStart && t < e.sigEnd
+}
+
+// sat lazily instantiates and registers a satellite agent.
+func (e *episode) sat(id int) *satellite {
+	if s, ok := e.satellites[id]; ok {
+		return s
+	}
+	s := &satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+	e.satellites[id] = s
+	if err := e.net.Register(s.node, s.onMessage); err != nil {
+		// Registration cannot fail for a non-nil method handler.
+		panic(fmt.Sprintf("oaq: register satellite %d: %v", id, err))
+	}
+	if e.failRollArmed && e.p.FailSilentProb > 0 && e.rng.Float64() < e.p.FailSilentProb {
+		e.net.SetFailSilent(s.node, true)
+		e.ground.SetFailSilent(s.node, true)
+	}
+	return s
+}
+
+// recordAlert is the ground station's receive path. Only the send time
+// matters for the deadline (footnote 2: the alert must be *sent* by τ).
+func (e *episode) recordAlert(msg crosslink.Message) {
+	pay, ok := msg.Payload.(alertPayload)
+	if !ok {
+		return
+	}
+	if msg.SentAt > e.deadline+1e-12 {
+		e.trace(e.sim.Now(), -1, TraceAlertReceived, "LATE alert (level %v) discarded", pay.level)
+		return // late alert: does not count toward the QoS level
+	}
+	e.trace(e.sim.Now(), -1, TraceAlertReceived, "level %v accepted (sent %.3f min after detection)", pay.level, msg.SentAt-e.t0)
+	e.deliveredByTau = true
+	if pay.level > e.bestLevel || (pay.level == e.bestLevel && pay.passes > e.bestPasses) {
+		e.bestLevel = pay.level
+		e.bestPasses = pay.passes
+		e.bestSentAt = msg.SentAt
+	}
+}
+
+func (e *episode) noteTermination(t Termination) {
+	if !e.terminationSeen {
+		e.termination = t
+		e.terminationSeen = true
+	}
+}
+
+// sendAlert emits the satellite's alert to the ground.
+func (s *satellite) sendAlert(level qos.Level, passes int) {
+	if s.sentAlert {
+		return
+	}
+	s.sentAlert = true
+	s.ep.trace(s.ep.sim.Now(), s.id, TraceAlertSent, "level %v from %d fused passes", level, passes)
+	_ = s.ep.ground.Send(s.node, crosslink.GroundStation, kindAlert, alertPayload{
+		level:  level,
+		passes: passes,
+		t0:     s.ep.t0,
+	})
+}
+
+// sendDone notifies the upstream requester, which propagates it further
+// down the chain (backward-messaging variant only).
+func (s *satellite) sendDone() {
+	if !s.ep.p.BackwardMessaging || !s.hasRequest {
+		return
+	}
+	s.ep.trace(s.ep.sim.Now(), s.id, TraceDoneSent, "to S%d", int(s.requestFrom))
+	_ = s.ep.net.Send(s.node, s.requestFrom, kindDone, nil)
+}
+
+// onMessage dispatches crosslink traffic.
+func (s *satellite) onMessage(now float64, msg crosslink.Message) {
+	switch msg.Kind {
+	case kindRequest:
+		pay, ok := msg.Payload.(requestPayload)
+		if !ok {
+			return
+		}
+		s.hasRequest = true
+		s.requestFrom = msg.From
+		s.ordinal = pay.ordinal
+		s.inherited = alertPayload{level: pay.inherited, passes: pay.passes, t0: pay.t0}
+		s.ep.trace(now, s.id, TraceRequestReceived, "ordinal n=%d, inherited level %v", pay.ordinal, pay.inherited)
+		s.scheduleAttempt(now)
+		if !s.ep.p.BackwardMessaging {
+			// Terminal-responsibility guard: whoever holds the freshest
+			// result must get *something* to the ground by the deadline.
+			s.ep.sim.ScheduleAt(s.ep.deadline, "no-backward-guard", func(float64) {
+				if !s.sentAlert && !s.forwarded && !s.ep.net.FailSilent(s.node) {
+					s.sendAlert(s.inherited.level, s.inherited.passes)
+				}
+			})
+		}
+	case kindDone:
+		s.doneFrom = true
+		s.ep.trace(now, s.id, TraceDoneReceived, "from S%d", int(msg.From))
+		// Propagate downstream (Figure 3(c)-(d)).
+		s.sendDone()
+	}
+}
+
+// scheduleAttempt arms the satellite's pass over the target: when its
+// footprint arrives it either iterates the computation (signal still
+// up) or observes TC-3.
+func (s *satellite) scheduleAttempt(now float64) {
+	at := math.Max(now, s.passStart())
+	s.ep.sim.ScheduleAt(at, "pass-attempt", func(t float64) {
+		if s.ep.net.FailSilent(s.node) {
+			return
+		}
+		s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
+		if s.ep.signalActiveAt(t) {
+			h := s.ep.p.ComputeTime.Sample(s.ep.rng)
+			s.ep.sim.Schedule(h, "iterative-computation", func(done float64) {
+				if s.ep.net.FailSilent(s.node) {
+					return
+				}
+				s.passes = s.inherited.passes + 1
+				s.level = qos.LevelSequentialDual
+				s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
+				s.evaluate(done)
+			})
+			return
+		}
+		// TC-3: the signal stopped before this footprint arrived.
+		s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
+		if !s.ep.p.BackwardMessaging {
+			s.ep.noteTermination(TermSignalLost)
+			s.sendAlert(s.inherited.level, s.inherited.passes)
+			s.sendDone()
+		}
+		// Under backward messaging the upstream wait timeout delivers.
+	})
+}
+
+// evaluate applies the termination conditions after a completed
+// computation and either terminates (alert + done) or expands the chain
+// (coordination request to the next-visiting peer, §3.2).
+func (s *satellite) evaluate(now float64) {
+	e := s.ep
+	terminate := func(cause Termination) {
+		e.noteTermination(cause)
+		s.sendAlert(s.level, s.passes)
+		s.sendDone()
+	}
+	// TC-1: estimated error below threshold.
+	if e.p.ErrorThresholdKm > 0 && e.p.errorModel()(s.passes) <= e.p.ErrorThresholdKm {
+		terminate(TermErrorThreshold)
+		return
+	}
+	// Configured chain cap.
+	if e.p.MaxChain > 0 && s.ordinal >= e.p.MaxChain {
+		terminate(TermChainCap)
+		return
+	}
+	// TC-2: getTime() − t0 > τ − (nδ + T_g).
+	if now-e.t0 > e.p.TauMin-(float64(s.ordinal)*e.p.DeltaMin+e.p.TgMin) {
+		terminate(TermDeadline)
+		return
+	}
+	// Opportunity remains: request the peer expected to visit next. A
+	// membership-aware satellite skips peers its view has excluded (the
+	// §5 integration), at the cost of a later pass arrival.
+	next := e.sat(s.id + 1)
+	if e.p.MembershipAware {
+		for hop := 1; hop <= 4 && e.net.FailSilent(next.node); hop++ {
+			e.trace(now, s.id, TraceRequestSent,
+				"membership view excludes S%d; skipping", next.id)
+			next = e.sat(s.id + 1 + hop)
+		}
+	}
+	s.forwarded = true
+	e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
+	_ = e.net.Send(s.node, next.node, kindRequest, requestPayload{
+		t0:        e.t0,
+		ordinal:   s.ordinal + 1,
+		passes:    s.passes,
+		inherited: s.level,
+	})
+	if e.p.BackwardMessaging {
+		// Wait for "coordination done" until τ − (n−1)δ; otherwise treat
+		// the peer as unable to deliver (TC-3 after the request, or
+		// fail-silence) and send our own result (Figure 4).
+		waitUntil := e.t0 + e.p.TauMin - float64(s.ordinal-1)*e.p.DeltaMin
+		if waitUntil < now {
+			waitUntil = now
+		}
+		e.sim.ScheduleAt(waitUntil, "wait-timeout", func(t float64) {
+			if s.doneFrom || s.sentAlert || e.net.FailSilent(s.node) {
+				return
+			}
+			e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
+			e.noteTermination(TermTimeout)
+			s.sendAlert(s.level, s.passes)
+			s.sendDone()
+		})
+	}
+}
+
+// RunEpisode simulates one signal episode under the given parameters and
+// returns its outcome.
+func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
+	if err := p.Validate(); err != nil {
+		return EpisodeResult{}, err
+	}
+	if rng == nil {
+		return EpisodeResult{}, fmt.Errorf("oaq: RNG is required")
+	}
+	tr, err := p.Geom.Tr(p.K)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	overlap, err := p.Geom.Overlapping(p.K)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+
+	sim := &des.Simulation{}
+	net, err := crosslink.NewNetwork(sim, crosslink.Config{
+		MaxDelayMin: p.DeltaMin,
+		LossProb:    p.MessageLossProb,
+	}, rng)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	ground, err := crosslink.NewNetwork(sim, crosslink.Config{MaxDelayMin: p.DeltaMin}, rng)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	e := &episode{
+		p:           p,
+		sim:         sim,
+		net:         net,
+		ground:      ground,
+		rng:         rng,
+		l1:          tr,
+		tc:          p.Geom.TcMin,
+		bestLevel:   qos.LevelMiss,
+		termination: TermNone,
+		satellites:  make(map[int]*satellite),
+	}
+	if err := ground.Register(crosslink.GroundStation, func(now float64, msg crosslink.Message) {
+		e.recordAlert(msg)
+	}); err != nil {
+		return EpisodeResult{}, err
+	}
+
+	// Signal placement: uniform phase within one footprint period (the
+	// PASTA argument of §4.2.2), offset well inside the pass schedule so
+	// chain indices stay positive.
+	e.sigStart = 64*e.l1 + rng.Float64()*e.l1
+	e.sigEnd = e.sigStart + p.SignalDuration.Sample(rng)
+
+	// Detection.
+	covering := e.coveringAt(e.sigStart)
+	var detectionDelay float64
+	switch {
+	case len(covering) > 0:
+		e.t0 = e.sigStart
+	default:
+		nextPass := math.Ceil(e.sigStart/e.l1) * e.l1
+		if nextPass >= e.sigEnd {
+			// The target escaped surveillance: level 0.
+			return EpisodeResult{
+				Level:           qos.LevelMiss,
+				DetectionDelay:  math.NaN(),
+				DeliveryLatency: math.NaN(),
+				Termination:     TermNone,
+			}, nil
+		}
+		e.t0 = nextPass
+		detectionDelay = e.t0 - e.sigStart
+		covering = e.coveringAt(e.t0)
+	}
+	e.deadline = e.t0 + p.TauMin
+
+	// First-response logic at t0.
+	e.sim.ScheduleAt(e.t0, "detection", func(float64) {
+		e.onDetection(covering, overlap)
+	})
+
+	// Run to quiescence past the deadline plus a full revisit (late pass
+	// attempts are filtered by the ground's deadline check anyway).
+	sim.Run(e.deadline + 4*e.l1 + e.tc + 1)
+
+	res := EpisodeResult{
+		Level:           e.bestLevel,
+		Detected:        true,
+		Delivered:       e.deliveredByTau,
+		DetectionDelay:  detectionDelay,
+		ChainLength:     e.bestPasses,
+		MessagesSent:    net.Stats().Sent + ground.Stats().Sent,
+		Termination:     e.termination,
+		DeliveryLatency: math.NaN(),
+	}
+	if e.deliveredByTau {
+		res.DeliveryLatency = e.bestSentAt - e.t0
+	} else {
+		res.Level = qos.LevelMiss
+	}
+	return res, nil
+}
+
+// onDetection implements the scheme-dependent first response of the
+// satellite(s) covering the target at t0.
+func (e *episode) onDetection(covering []int, overlap bool) {
+	defer func() { e.failRollArmed = true }()
+	e.trace(e.t0, covering[len(covering)-1], TraceDetection,
+		"covered by %d footprint(s); deadline τ expires at +%.1f", len(covering), e.p.TauMin)
+	if len(covering) >= 2 {
+		// Simultaneous multiple coverage at detection: one joint
+		// computation yields the level-3 result, no coordination needed
+		// (§3.1). The latest-arriving footprint's satellite reports.
+		lead := e.sat(covering[len(covering)-1])
+		lead.ordinal = 1
+		e.jointComputation(lead, 2)
+		e.armPreliminaryGuard(lead)
+		return
+	}
+
+	s1 := e.sat(covering[0])
+	s1.ordinal = 1
+	s1.passes = 1
+	s1.level = qos.LevelSingle
+	h1 := e.p.ComputeTime.Sample(e.rng)
+
+	switch {
+	case e.p.Scheme == qos.SchemeBAQ:
+		// Deliver after the initial computation, no waiting.
+		e.sim.Schedule(h1, "initial-computation", func(t float64) {
+			e.trace(t, s1.id, TraceComputationDone, "initial computation")
+			s1.sendAlert(qos.LevelSingle, 1)
+		})
+		e.armPreliminaryGuard(s1)
+
+	case overlap:
+		// OAQ, overlapping regime: withhold the preliminary result and
+		// wait for the overlapped footprints (§3.1).
+		e.sim.Schedule(h1, "initial-computation", func(t float64) {
+			e.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
+		})
+		tBeta := float64(s1.id+1) * e.l1
+		if tBeta <= e.deadline {
+			e.sim.ScheduleAt(tBeta, "overlap-arrival", func(now float64) {
+				e.trace(now, s1.id+1, TracePassArrival,
+					"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
+				if e.signalActiveAt(now) {
+					e.jointComputation(s1, 2)
+					return
+				}
+				// The signal stopped before simultaneous coverage: no
+				// further opportunity; release the preliminary result.
+				e.noteTermination(TermSignalLost)
+				s1.sendAlert(qos.LevelSingle, 1)
+			})
+		}
+		e.armPreliminaryGuard(s1)
+
+	default:
+		// OAQ, underlapping regime: iterative sequential localization
+		// along the coordination chain (§3.2).
+		e.sim.Schedule(h1, "initial-computation", func(now float64) {
+			e.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
+			s1.evaluate(now)
+		})
+		// S1 holds terminal responsibility until it forwards a request:
+		// if its own computation overruns the deadline, the guard
+		// releases the preliminary (partial) result on time. After a
+		// forward, the wait timer (backward messaging) or the peer's
+		// terminal guard (no-backward) takes over.
+		e.armPreliminaryGuard(s1)
+	}
+}
+
+// jointComputation runs the simultaneous-coverage computation and sends
+// the level-3 alert on completion.
+func (e *episode) jointComputation(s *satellite, passes int) {
+	h := e.p.ComputeTime.Sample(e.rng)
+	e.sim.Schedule(h, "joint-computation", func(t float64) {
+		s.passes = passes
+		s.level = qos.LevelSimultaneousDual
+		e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
+		s.sendAlert(qos.LevelSimultaneousDual, passes)
+	})
+}
+
+// armPreliminaryGuard guarantees the preliminary (level-1) result goes
+// out by the deadline if nothing better has been sent — the
+// "guaranteeing that in the worst case, with high probability the
+// preliminary geolocation result will be delivered in a timely fashion"
+// property of §3.3.
+func (e *episode) armPreliminaryGuard(s *satellite) {
+	e.sim.ScheduleAt(e.deadline, "preliminary-guard", func(t float64) {
+		if !s.sentAlert && !s.forwarded && !e.net.FailSilent(s.node) {
+			e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
+			e.noteTermination(TermDeadline)
+			s.sendAlert(qos.LevelSingle, 1)
+		}
+	})
+}

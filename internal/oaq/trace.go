@@ -1,0 +1,124 @@
+package oaq
+
+import (
+	"fmt"
+
+	"satqos/internal/stats"
+)
+
+// TraceKind classifies protocol trace events.
+type TraceKind int
+
+// Trace event kinds, in rough lifecycle order.
+const (
+	// TraceDetection: the signal was first observed (t0).
+	TraceDetection TraceKind = iota + 1
+	// TraceComputationDone: a geolocation computation completed.
+	TraceComputationDone
+	// TraceRequestSent: a coordination request left a satellite.
+	TraceRequestSent
+	// TraceRequestReceived: a coordination request arrived at a peer.
+	TraceRequestReceived
+	// TracePassArrival: a coordinating peer's footprint reached the
+	// target.
+	TracePassArrival
+	// TraceSignalLost: TC-3 was observed — the footprint arrived after
+	// the signal stopped.
+	TraceSignalLost
+	// TraceDoneSent: a "coordination done" notification was emitted.
+	TraceDoneSent
+	// TraceDoneReceived: a "coordination done" notification arrived.
+	TraceDoneReceived
+	// TraceTimeout: a wait timer or deadline guard fired.
+	TraceTimeout
+	// TraceAlertSent: an alert left for the ground station.
+	TraceAlertSent
+	// TraceAlertReceived: the ground station accepted an alert (on
+	// time) or discarded it (late).
+	TraceAlertReceived
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceDetection:
+		return "detection"
+	case TraceComputationDone:
+		return "computation-done"
+	case TraceRequestSent:
+		return "request-sent"
+	case TraceRequestReceived:
+		return "request-received"
+	case TracePassArrival:
+		return "pass-arrival"
+	case TraceSignalLost:
+		return "signal-lost"
+	case TraceDoneSent:
+		return "done-sent"
+	case TraceDoneReceived:
+		return "done-received"
+	case TraceTimeout:
+		return "timeout"
+	case TraceAlertSent:
+		return "alert-sent"
+	case TraceAlertReceived:
+		return "alert-received"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one protocol occurrence within an episode.
+type TraceEvent struct {
+	// Time is the simulation time, in minutes from the episode origin.
+	Time float64
+	// Satellite is the pass index of the acting satellite (the ground
+	// station uses -1).
+	Satellite int
+	// Kind classifies the event.
+	Kind TraceKind
+	// Detail is a human-readable annotation.
+	Detail string
+}
+
+// String renders the event for timelines.
+func (e TraceEvent) String() string {
+	who := fmt.Sprintf("S%d", e.Satellite)
+	if e.Satellite < 0 {
+		who = "ground"
+	}
+	return fmt.Sprintf("t=%8.3f  %-7s %-17s %s", e.Time, who, e.Kind.String(), e.Detail)
+}
+
+// trace emits an event to the configured sink.
+func (e *episode) trace(t float64, sat int, kind TraceKind, format string, args ...any) {
+	if e.p.Trace == nil {
+		return
+	}
+	e.p.Trace(TraceEvent{
+		Time:      t,
+		Satellite: sat,
+		Kind:      kind,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// RunEpisodeTraced runs one episode with tracing enabled and returns
+// the outcome together with the ordered event timeline (times are
+// rebased so the signal's occurrence is t = 0).
+func RunEpisodeTraced(p Params, rng *stats.RNG) (EpisodeResult, []TraceEvent, error) {
+	var events []TraceEvent
+	p.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	res, err := RunEpisode(p, rng)
+	if err != nil {
+		return EpisodeResult{}, nil, err
+	}
+	if len(events) > 0 {
+		// Rebase to the first event (the detection or the signal start).
+		base := events[0].Time
+		for i := range events {
+			events[i].Time -= base
+		}
+	}
+	return res, events, nil
+}

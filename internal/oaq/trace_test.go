@@ -1,0 +1,89 @@
+package oaq
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+func TestRunEpisodeTraced(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	// Long signals force sequential chains frequently; find an episode
+	// with a coordination request to exercise the full vocabulary.
+	p.SignalDuration = stats.Exponential{Rate: 0.1}
+	rng := stats.NewRNG(3, 0)
+	var sawRequest bool
+	for i := 0; i < 50 && !sawRequest; i++ {
+		res, events, err := RunEpisodeTraced(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected {
+			continue
+		}
+		if len(events) == 0 {
+			t.Fatal("detected episode produced no trace events")
+		}
+		// Events are time-ordered and rebased to zero.
+		if events[0].Time != 0 {
+			t.Errorf("first event at %v, want 0", events[0].Time)
+		}
+		if !sort.SliceIsSorted(events, func(a, b int) bool { return events[a].Time < events[b].Time }) {
+			t.Error("trace not time-ordered")
+		}
+		kinds := make(map[TraceKind]bool)
+		for _, ev := range events {
+			kinds[ev.Kind] = true
+			if ev.String() == "" {
+				t.Error("empty event rendering")
+			}
+		}
+		if !kinds[TraceDetection] {
+			t.Error("no detection event")
+		}
+		if res.Delivered && !kinds[TraceAlertSent] {
+			t.Error("delivered episode without alert-sent event")
+		}
+		if kinds[TraceRequestSent] {
+			sawRequest = true
+			if !kinds[TraceRequestReceived] {
+				t.Error("request sent but never received (healthy link)")
+			}
+		}
+	}
+	if !sawRequest {
+		t.Error("no episode produced a coordination request in 50 tries")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	p := ReferenceParams(12, qos.SchemeOAQ)
+	if p.Trace != nil {
+		t.Fatal("reference params should not carry a tracer")
+	}
+	// RunEpisode with nil tracer must not panic on the trace paths.
+	if _, err := RunEpisode(p, stats.NewRNG(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	for k := TraceDetection; k <= TraceAlertReceived; k++ {
+		if strings.HasPrefix(k.String(), "TraceKind(") {
+			t.Errorf("kind %d lacks a name", int(k))
+		}
+	}
+	if TraceKind(99).String() != "TraceKind(99)" {
+		t.Errorf("unknown kind = %q", TraceKind(99).String())
+	}
+}
+
+func TestTraceEventStringGround(t *testing.T) {
+	ev := TraceEvent{Time: 1.5, Satellite: -1, Kind: TraceAlertReceived, Detail: "x"}
+	if !strings.Contains(ev.String(), "ground") {
+		t.Errorf("ground event rendering: %q", ev.String())
+	}
+}

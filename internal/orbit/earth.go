@@ -1,0 +1,126 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants. The gravitational parameter is expressed in
+// km³/min² so that all orbital formulas work directly in the repository's
+// minute-based time unit.
+const (
+	// EarthRadiusKm is the mean equatorial radius of the earth.
+	EarthRadiusKm = 6378.137
+
+	// MuKm3PerMin2 is the geocentric gravitational parameter GM in
+	// km³/min². (398600.4418 km³/s² × 3600 s²/min².)
+	MuKm3PerMin2 = 398600.4418 * 3600
+
+	// SiderealDayMin is the length of one sidereal day in minutes.
+	SiderealDayMin = 1436.0683
+
+	// EarthRotationRadPerMin is the earth's rotation rate.
+	EarthRotationRadPerMin = 2 * math.Pi / SiderealDayMin
+)
+
+// LatLon is a geodetic point on the spherical earth model, in radians.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Deg returns the point in degrees (latitude, longitude) for display.
+func (p LatLon) Deg() (lat, lon float64) {
+	return p.Lat * 180 / math.Pi, p.Lon * 180 / math.Pi
+}
+
+// FromDegrees builds a LatLon from degree inputs, validating the ranges.
+func FromDegrees(latDeg, lonDeg float64) (LatLon, error) {
+	if latDeg < -90 || latDeg > 90 || math.IsNaN(latDeg) {
+		return LatLon{}, fmt.Errorf("orbit: latitude %g° outside [-90, 90]", latDeg)
+	}
+	if lonDeg < -180 || lonDeg > 180 || math.IsNaN(lonDeg) {
+		return LatLon{}, fmt.Errorf("orbit: longitude %g° outside [-180, 180]", lonDeg)
+	}
+	return LatLon{Lat: latDeg * math.Pi / 180, Lon: lonDeg * math.Pi / 180}, nil
+}
+
+// ECEF returns the earth-fixed Cartesian position of the point on the
+// spherical earth surface.
+func (p LatLon) ECEF() Vec3 {
+	cl := math.Cos(p.Lat)
+	return Vec3{
+		X: EarthRadiusKm * cl * math.Cos(p.Lon),
+		Y: EarthRadiusKm * cl * math.Sin(p.Lon),
+		Z: EarthRadiusKm * math.Sin(p.Lat),
+	}
+}
+
+// ECI returns the inertial position of the earth-fixed point at time t
+// (minutes since epoch), accounting for the earth's rotation. At t = 0
+// the ECEF and ECI frames coincide.
+func (p LatLon) ECI(t float64) Vec3 {
+	theta := EarthRotationRadPerMin * t
+	e := p.ECEF()
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Vec3{
+		X: c*e.X - s*e.Y,
+		Y: s*e.X + c*e.Y,
+		Z: e.Z,
+	}
+}
+
+// ECIVelocity returns the inertial velocity (km/min) of the earth-fixed
+// point at time t due to the earth's rotation. The geolocation Doppler
+// model needs this to compute relative line-of-sight speed.
+func (p LatLon) ECIVelocity(t float64) Vec3 {
+	pos := p.ECI(t)
+	// v = ω × r with ω along +Z.
+	omega := Vec3{Z: EarthRotationRadPerMin}
+	return omega.Cross(pos)
+}
+
+// GreatCircle returns the central angle (radians) between two surface
+// points on the spherical earth, computed with the haversine formula for
+// numerical robustness at small separations.
+func GreatCircle(a, b LatLon) float64 {
+	dLat := b.Lat - a.Lat
+	dLon := b.Lon - a.Lon
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(a.Lat)*math.Cos(b.Lat)*s2*s2
+	if h < 0 {
+		h = 0
+	} else if h > 1 {
+		h = 1
+	}
+	return 2 * math.Asin(math.Sqrt(h))
+}
+
+// SurfaceDistanceKm returns the great-circle surface distance in km.
+func SurfaceDistanceKm(a, b LatLon) float64 {
+	return EarthRadiusKm * GreatCircle(a, b)
+}
+
+// SubPoint projects an inertial position onto the rotating earth at time
+// t, returning the sub-satellite latitude/longitude.
+func SubPoint(posECI Vec3, t float64) LatLon {
+	r := posECI.Norm()
+	if r == 0 {
+		return LatLon{}
+	}
+	lat := math.Asin(posECI.Z / r)
+	lonInertial := math.Atan2(posECI.Y, posECI.X)
+	lon := normLon(lonInertial - EarthRotationRadPerMin*t)
+	return LatLon{Lat: lat, Lon: lon}
+}
+
+// normLon wraps a longitude into (−π, π].
+func normLon(lon float64) float64 {
+	for lon <= -math.Pi {
+		lon += 2 * math.Pi
+	}
+	for lon > math.Pi {
+		lon -= 2 * math.Pi
+	}
+	return lon
+}

@@ -1,0 +1,145 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSunDirectionSeasons(t *testing.T) {
+	// Vernal equinox: sun along +X, no declination.
+	s := SunDirection(0)
+	if !approx(s.X, 1, 1e-9) || math.Abs(s.Z) > 1e-9 {
+		t.Errorf("equinox sun = %v", s)
+	}
+	// Unit vector at all times.
+	for _, tm := range []float64{0, YearMin / 4, YearMin / 2, YearMin * 0.77} {
+		if !approx(SunDirection(tm).Norm(), 1, 1e-12) {
+			t.Errorf("non-unit sun direction at %v", tm)
+		}
+	}
+	// June solstice (quarter year): maximum northern declination.
+	solstice := SunDirection(YearMin / 4)
+	if !approx(solstice.Z, math.Sin(ObliquityRad), 1e-9) {
+		t.Errorf("solstice declination = %v, want sin(23.44°)", solstice.Z)
+	}
+	// Autumn equinox: sun along −X.
+	if s := SunDirection(YearMin / 2); !approx(s.X, -1, 1e-9) {
+		t.Errorf("autumn sun = %v", s)
+	}
+	// Annual periodicity.
+	a, b := SunDirection(123456), SunDirection(123456+YearMin)
+	if a.Sub(b).Norm() > 1e-9 {
+		t.Errorf("sun not annual-periodic: %v vs %v", a, b)
+	}
+}
+
+func TestEclipsedGeometry(t *testing.T) {
+	sun := Vec3{X: 1}
+	r := EarthRadiusKm + 300
+	cases := []struct {
+		name string
+		pos  Vec3
+		want bool
+	}{
+		{"sunlit side", Vec3{X: r}, false},
+		{"deep shadow", Vec3{X: -r}, true},
+		{"terminator above pole", Vec3{Z: r}, false},
+		{"behind but outside cylinder", Vec3{X: -r, Y: EarthRadiusKm * 1.2}, false},
+		{"behind and inside cylinder", Vec3{X: -r, Y: EarthRadiusKm * 0.5}, true},
+	}
+	for _, c := range cases {
+		if got := Eclipsed(c.pos, sun); got != c.want {
+			t.Errorf("%s: Eclipsed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBetaAngleExtremes(t *testing.T) {
+	// Equatorial orbit at equinox: sun in the orbital plane, β = 0.
+	eq, err := NewCircularOrbit(90, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta := BetaAngle(eq, 0); math.Abs(beta) > 1e-9 {
+		t.Errorf("equatorial equinox β = %v, want 0", beta)
+	}
+	// Polar orbit with RAAN 90° at equinox: normal ±X... choose RAAN so
+	// the normal points at the sun: normal = (sinΩ·sin i, −cosΩ·sin i,
+	// cos i); for i=90°, Ω=90°: normal = (1, 0, 0) = sun → β = 90°.
+	polar, err := NewCircularOrbit(90, math.Pi/2, math.Pi/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta := BetaAngle(polar, 0); !approx(beta, math.Pi/2, 1e-9) {
+		t.Errorf("terminator-riding β = %v, want π/2", beta)
+	}
+}
+
+func TestEclipseFractionClosedFormLimits(t *testing.T) {
+	o, err := NewCircularOrbit(90, 86*math.Pi/180, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β = 0 for a ~280 km orbit: around 40% of the orbit in shadow.
+	f0 := EclipseFraction(o, 0)
+	if f0 < 0.35 || f0 > 0.45 {
+		t.Errorf("β=0 eclipse fraction = %v, want ≈0.4", f0)
+	}
+	// Eclipse fraction shrinks monotonically with |β| and vanishes at
+	// the terminator.
+	prev := f0
+	for _, beta := range []float64{0.2, 0.5, 1.0, 1.4} {
+		f := EclipseFraction(o, beta)
+		if f > prev {
+			t.Errorf("eclipse fraction not decreasing at β=%v: %v > %v", beta, f, prev)
+		}
+		prev = f
+	}
+	if f := EclipseFraction(o, math.Pi/2); f != 0 {
+		t.Errorf("terminator eclipse fraction = %v, want 0", f)
+	}
+}
+
+func TestEclipseFractionMatchesSimulation(t *testing.T) {
+	// Closed form vs direct shadow integration, at two different orbit
+	// orientations (hence beta angles).
+	for _, raan := range []float64{0, 0.9} {
+		o, err := NewCircularOrbit(90, 86*math.Pi/180, raan, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta := BetaAngle(o, 0)
+		analytic := EclipseFraction(o, beta)
+		measured, err := EclipseFractionMeasured(o, 0, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(analytic-measured) > 0.01 {
+			t.Errorf("RAAN %v (β=%.3f): analytic %v vs measured %v", raan, beta, analytic, measured)
+		}
+	}
+}
+
+func TestEclipseFractionMeasuredValidation(t *testing.T) {
+	o, _ := NewCircularOrbit(90, math.Pi/2, 0, 0)
+	if _, err := EclipseFractionMeasured(o, 0, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := EclipseFractionMeasured(o, 0, 30); err == nil {
+		t.Error("giant step accepted")
+	}
+}
+
+// The readiness-to-serve tie-in: over a third of each reference orbit
+// is power-constrained at low beta — the physical scale of the paper's
+// "continuously changing readiness-to-serve".
+func TestReferenceOrbitEclipseScale(t *testing.T) {
+	o, err := NewCircularOrbit(90, 86*math.Pi/180, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minutes := EclipseFraction(o, 0) * o.PeriodMin
+	if minutes < 30 || minutes > 40 {
+		t.Errorf("eclipse per orbit = %v min, want ≈36", minutes)
+	}
+}

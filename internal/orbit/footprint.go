@@ -1,0 +1,92 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Footprint is the spherical cap on the earth surface visible to (covered
+// by) a satellite's sensor, parameterized by its earth-central half-angle
+// ψ: a surface point is inside the footprint when its great-circle
+// separation from the sub-satellite point is at most ψ.
+type Footprint struct {
+	HalfAngle float64 // earth-central half-angle ψ, radians
+}
+
+// NewFootprint validates and constructs a footprint.
+func NewFootprint(halfAngle float64) (Footprint, error) {
+	if halfAngle <= 0 || halfAngle >= math.Pi/2 {
+		return Footprint{}, fmt.Errorf("orbit: footprint half-angle %g rad must be in (0, π/2)", halfAngle)
+	}
+	return Footprint{HalfAngle: halfAngle}, nil
+}
+
+// FootprintFromCoverageTime derives the footprint half-angle from the
+// paper's coverage time Tc: a point on the footprint-trajectory center
+// line is covered for Tc minutes per pass, so the footprint's along-track
+// angular diameter is 2ψ = n·Tc where n is the orbit's mean motion.
+//
+// For the reference constellation (θ = 90 min, Tc = 9 min) this gives
+// ψ = 18°, i.e. a footprint diameter of about 4000 km of arc.
+func FootprintFromCoverageTime(o CircularOrbit, tcMin float64) (Footprint, error) {
+	if tcMin <= 0 {
+		return Footprint{}, fmt.Errorf("orbit: coverage time %g min must be positive", tcMin)
+	}
+	half := o.MeanMotion() * tcMin / 2
+	return NewFootprint(half)
+}
+
+// Covers reports whether the target is inside the footprint centered at
+// the given sub-satellite point.
+func (f Footprint) Covers(subsat, target LatLon) bool {
+	return GreatCircle(subsat, target) <= f.HalfAngle
+}
+
+// RadiusKm returns the footprint's surface radius in km of arc.
+func (f Footprint) RadiusKm() float64 { return EarthRadiusKm * f.HalfAngle }
+
+// CoverageTime returns the time (minutes) for which a ground point at
+// cross-track angular offset c from the trajectory center line is covered
+// during one pass of a satellite on orbit o. A point with cos c below
+// cos ψ is outside the swath and gets 0. The earth's rotation during a
+// single pass (≤ Tc) is neglected, matching the paper's model.
+func (f Footprint) CoverageTime(o CircularOrbit, crossTrack float64) float64 {
+	cc := math.Cos(crossTrack)
+	cp := math.Cos(f.HalfAngle)
+	if cc <= cp {
+		return 0
+	}
+	// Along-track half-width a of the cap at this offset:
+	// cos(separation) = cos(a)·cos(c) >= cos(ψ).
+	a := math.Acos(cp / cc)
+	return 2 * a / o.MeanMotion()
+}
+
+// MaxCoverageTime returns the center-line coverage time Tc implied by the
+// footprint and orbit — the inverse of FootprintFromCoverageTime.
+func (f Footprint) MaxCoverageTime(o CircularOrbit) float64 {
+	return 2 * f.HalfAngle / o.MeanMotion()
+}
+
+// NadirAngle returns the sensor cone half-angle η (at the satellite)
+// subtending the footprint edge, for a satellite at the orbit's altitude:
+// tan η = sin ψ / (r/Re − cos ψ).
+func (f Footprint) NadirAngle(o CircularOrbit) float64 {
+	ratio := o.SemiMajorAxisKm() / EarthRadiusKm
+	return math.Atan2(math.Sin(f.HalfAngle), ratio-math.Cos(f.HalfAngle))
+}
+
+// EdgeElevation returns the elevation angle ε of the satellite as seen
+// from a point on the footprint edge. The spherical triangle gives
+// η + ψ + (π/2 + ε) = π.
+func (f Footprint) EdgeElevation(o CircularOrbit) float64 {
+	return math.Pi/2 - f.HalfAngle - f.NadirAngle(o)
+}
+
+// SlantRangeKm returns the distance from the satellite to a ground point
+// at central angle sep from the sub-satellite point (law of cosines in
+// the earth-center/satellite/target triangle).
+func SlantRangeKm(o CircularOrbit, sep float64) float64 {
+	r := o.SemiMajorAxisKm()
+	return math.Sqrt(r*r + EarthRadiusKm*EarthRadiusKm - 2*r*EarthRadiusKm*math.Cos(sep))
+}

@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "demo & test",
+		XLabel: "x",
+		YLabel: "P",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}},
+			{Name: "b<dashed>", X: []float64{0, 1, 2}, Y: []float64{1, 0.5, 0}, Dashed: true},
+		},
+	}
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := simpleChart().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"demo &amp; test", "b&lt;dashed&gt;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polyline count = %d, want 2", strings.Count(out, "<polyline"))
+	}
+	// Raw unescaped title must not leak.
+	if strings.Contains(out, "demo & test<") {
+		t.Error("unescaped title leaked")
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	empty := &Chart{Title: "none"}
+	var b strings.Builder
+	if err := empty.Render(&b); err == nil {
+		t.Error("chart without series accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "m", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&b); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	nan := &Chart{Series: []Series{{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if err := nan.Render(&b); err == nil {
+		t.Error("NaN series accepted")
+	}
+	hollow := &Chart{Series: []Series{{Name: "e"}}}
+	if err := hollow.Render(&b); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestFixedAxisAndDegenerateRanges(t *testing.T) {
+	c := &Chart{
+		YFixed: true, YMin: 0, YMax: 1,
+		Series: []Series{{Name: "flat", X: []float64{5, 5}, Y: []float64{0.3, 0.3}}},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("degenerate ranges must render: %v", err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Error("no SVG output")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1e-5:    "1.0e-05",
+		0.25:    "0.25",
+		42:      "42",
+		1234567: "1.2e+06",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	c := simpleChart()
+	c.Width, c.Height = 400, 300
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `width="400" height="300"`) {
+		t.Error("custom dimensions not applied")
+	}
+}

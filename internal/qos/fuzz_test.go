@@ -1,0 +1,97 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConditionalPMF drives the closed-form model across its whole
+// parameter space: for any valid (θ, Tc, τ, µ, ν, k) the conditional
+// PMFs of both schemes must be well-formed distributions with OAQ
+// stochastically dominating BAQ.
+func FuzzConditionalPMF(f *testing.F) {
+	f.Add(90.0, 9.0, 5.0, 0.5, 30.0, 12)
+	f.Add(90.0, 9.0, 5.0, 0.2, 30.0, 10)
+	f.Add(90.0, 9.0, 0.5, 0.5, 30.0, 9)
+	f.Add(120.0, 20.0, 12.0, 1.0, 5.0, 7)
+	f.Add(90.0, 9.0, 25.0, 0.05, 2.0, 9)
+	f.Fuzz(func(t *testing.T, theta, tc, tau, mu, nu float64, k int) {
+		geom, err := NewGeometry(theta, tc)
+		if err != nil {
+			t.Skip()
+		}
+		m, err := NewModel(geom, tau, mu, nu)
+		if err != nil {
+			t.Skip()
+		}
+		if k < 1 || geom.validCapacity(k) != nil {
+			t.Skip()
+		}
+		oaq, err := m.ConditionalPMF(SchemeOAQ, k)
+		if err != nil {
+			t.Skip()
+		}
+		baq, err := m.ConditionalPMF(SchemeBAQ, k)
+		if err != nil {
+			t.Fatalf("BAQ failed where OAQ succeeded: %v", err)
+		}
+		for _, pmf := range []PMF{oaq, baq} {
+			if math.Abs(pmf.Total()-1) > 1e-6 {
+				t.Fatalf("mass %v for θ=%v Tc=%v τ=%v µ=%v ν=%v k=%d", pmf.Total(), theta, tc, tau, mu, nu, k)
+			}
+			for l, v := range pmf {
+				if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+					t.Fatalf("level %d probability %v out of range", l, v)
+				}
+			}
+		}
+		for y := LevelMiss; y <= LevelSimultaneousDual; y++ {
+			if oaq.CCDF(y) < baq.CCDF(y)-1e-9 {
+				t.Fatalf("dominance violated at y=%d: OAQ %v < BAQ %v (θ=%v Tc=%v τ=%v µ=%v ν=%v k=%d)",
+					int(y), oaq.CCDF(y), baq.CCDF(y), theta, tc, tau, mu, nu, k)
+			}
+		}
+	})
+}
+
+// FuzzGeometry checks the geometric identities for arbitrary valid
+// parameters: L1 = Tr, L2 = |Tc − Tr|, and the M[k] bound at least 1.
+func FuzzGeometry(f *testing.F) {
+	f.Add(90.0, 9.0, 5.0, 10)
+	f.Add(90.0, 9.0, 0.2, 3)
+	f.Add(200.0, 50.0, 30.0, 2)
+	f.Fuzz(func(t *testing.T, theta, tc, tau float64, k int) {
+		geom, err := NewGeometry(theta, tc)
+		if err != nil {
+			t.Skip()
+		}
+		if k < 1 {
+			t.Skip()
+		}
+		tr, err := geom.Tr(k)
+		if err != nil {
+			t.Skip()
+		}
+		l1, _ := geom.L1(k)
+		l2, _ := geom.L2(k)
+		if l1 != tr {
+			t.Fatalf("L1 != Tr: %v vs %v", l1, tr)
+		}
+		if math.Abs(l2-math.Abs(tc-tr)) > 1e-12 {
+			t.Fatalf("L2 identity broken: %v vs %v", l2, math.Abs(tc-tr))
+		}
+		ov, _ := geom.Overlapping(k)
+		if ov != (tr < tc) {
+			t.Fatal("overlap indicator inconsistent")
+		}
+		if !ov && tau >= 0 && !math.IsNaN(tau) && !math.IsInf(tau, 0) {
+			m, err := geom.MaxConsecutive(k, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m < 1 {
+				t.Fatalf("M[k] = %d < 1", m)
+			}
+		}
+	})
+}

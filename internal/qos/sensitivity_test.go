@@ -1,0 +1,88 @@
+package qos
+
+import (
+	"testing"
+
+	"satqos/internal/stats"
+)
+
+// Sensitivity of the exponential-signal-duration assumption: a bursty
+// hyperexponential duration with the same mean shifts mass toward very
+// short signals, which die before the coordinating pass arrives — so
+// OAQ's sequential-coverage gain shrinks relative to the exponential
+// case, while BAQ (which never waits) is unaffected. This is exactly
+// the kind of question the quadrature path exists to answer.
+func TestBurstySignalsReduceOAQGain(t *testing.T) {
+	g := ReferenceGeometry()
+	const tau = 5.0
+	hExp, err := stats.NewExponential(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential baseline with mean 2 (µ = 0.5).
+	expDur, err := stats.NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursty alternative with the same mean 2 but CV ≈ 2.1: 90% chirps
+	// of mean 0.2, 10% transmissions of mean 18.
+	bursty, err := stats.NewHyperexponential([]float64{0.9, 0.1}, []float64{4.5, 1.0 / 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bursty.Mean() - expDur.Mean(); d > 0.01 || d < -0.01 {
+		t.Fatalf("means not matched: %v vs %v", bursty.Mean(), expDur.Mean())
+	}
+	if bursty.CV() < 1.5 {
+		t.Fatalf("CV = %v, want bursty", bursty.CV())
+	}
+
+	base, err := NewGeneralModel(g, tau, expDur, hExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := NewGeneralModel(g, tau, bursty, hExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underlapping plane (k = 10): G2 drops under burstiness.
+	g2Base, err := base.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2Bursty, err := alt.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2Bursty >= g2Base {
+		t.Errorf("bursty G2 = %v should fall below exponential %v", g2Bursty, g2Base)
+	}
+	// Overlapping plane (k = 12): the withhold window also suffers.
+	g3Base, err := base.G3(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3Bursty, err := alt.G3(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3Bursty >= g3Base {
+		t.Errorf("bursty G3 = %v should fall below exponential %v", g3Bursty, g3Base)
+	}
+	// BAQ's β-term is duration-independent: identical under both.
+	bBase, err := base.G3BAQ(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBursty, err := alt.G3BAQ(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bBase != bBursty {
+		t.Errorf("BAQ should be duration-insensitive: %v vs %v", bBase, bBursty)
+	}
+	// Dominance survives: even under burstiness OAQ beats BAQ.
+	if g3Bursty <= bBursty {
+		t.Errorf("OAQ bursty G3 = %v should still beat BAQ %v", g3Bursty, bBursty)
+	}
+}

@@ -1,0 +1,363 @@
+package san
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transition is one outgoing CTMC edge.
+type Transition struct {
+	To   int
+	Rate float64
+	// Activity is the index of the SAN activity that produced the edge.
+	Activity int
+}
+
+// CTMC is a finite continuous-time Markov chain extracted from the
+// reachability graph of an exponential-only SAN model.
+type CTMC struct {
+	states []Marking
+	index  map[string]int
+	edges  [][]Transition
+	exit   []float64 // total outgoing rate per state
+}
+
+// DefaultMaxStates bounds reachability exploration; the plane-capacity
+// models in this repository have at most a few hundred states.
+const DefaultMaxStates = 200000
+
+// BuildCTMC explores the reachability graph of an exponential-only model
+// from its initial marking and returns the CTMC. Models containing
+// deterministic activities are rejected — use renewal analysis,
+// ExpandDeterministic, or Simulate for those.
+func BuildCTMC(m *Model, maxStates int) (*CTMC, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.HasDeterministic() {
+		return nil, fmt.Errorf("san: BuildCTMC on a model with deterministic activities; use renewal analysis or ExpandDeterministic")
+	}
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	c := &CTMC{index: make(map[string]int)}
+	initial := m.InitialMarking()
+	c.addState(initial)
+	// Breadth-first reachability.
+	for head := 0; head < len(c.states); head++ {
+		from := c.states[head]
+		var out []Transition
+		var exit float64
+		for ai := range m.Activities {
+			a := &m.Activities[ai]
+			if !a.enabledIn(from) {
+				continue
+			}
+			rate := a.Rate(from)
+			next := a.Effect(from)
+			if len(next) != len(from) {
+				return nil, fmt.Errorf("san: activity %q changed marking length %d -> %d", a.Name, len(from), len(next))
+			}
+			if next.Equal(from) {
+				// Self-loops do not change the transient or stationary
+				// distribution of a CTMC; drop them.
+				continue
+			}
+			to, ok := c.index[next.Key()]
+			if !ok {
+				if len(c.states) >= maxStates {
+					return nil, fmt.Errorf("san: reachability exceeded %d states", maxStates)
+				}
+				to = c.addState(next)
+			}
+			out = append(out, Transition{To: to, Rate: rate, Activity: ai})
+			exit += rate
+		}
+		c.edges[head] = out
+		c.exit[head] = exit
+	}
+	return c, nil
+}
+
+func (c *CTMC) addState(m Marking) int {
+	id := len(c.states)
+	c.states = append(c.states, m.Clone())
+	c.index[m.Key()] = id
+	c.edges = append(c.edges, nil)
+	c.exit = append(c.exit, 0)
+	return id
+}
+
+// NumStates returns the number of reachable tangible markings.
+func (c *CTMC) NumStates() int { return len(c.states) }
+
+// State returns the marking of state i.
+func (c *CTMC) State(i int) Marking { return c.states[i].Clone() }
+
+// StateIndex returns the index of a marking, or -1 when unreachable.
+func (c *CTMC) StateIndex(m Marking) int {
+	if i, ok := c.index[m.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Transitions returns the outgoing edges of state i.
+func (c *CTMC) Transitions(i int) []Transition {
+	out := make([]Transition, len(c.edges[i]))
+	copy(out, c.edges[i])
+	return out
+}
+
+// uniformizationRate returns Λ, a uniform bound on exit rates (with a
+// little headroom so the DTMC keeps strictly positive self-loop mass,
+// which guarantees aperiodicity for the power iteration).
+func (c *CTMC) uniformizationRate() float64 {
+	var mx float64
+	for _, e := range c.exit {
+		if e > mx {
+			mx = e
+		}
+	}
+	if mx == 0 {
+		return 1 // absorbing-only chain; any Λ works
+	}
+	return mx * 1.02
+}
+
+// dtmcStep computes y = x P where P = I + Q/Λ is the uniformized chain.
+func (c *CTMC) dtmcStep(lambda float64, x, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		stay := 1 - c.exit[i]/lambda
+		y[i] += xi * stay
+		for _, tr := range c.edges[i] {
+			y[tr.To] += xi * tr.Rate / lambda
+		}
+	}
+}
+
+// poissonTerms returns the number of uniformization terms needed for
+// truncation error below eps at Poisson mean m, via a simple tail bound.
+func poissonTerms(m, eps float64) int {
+	if m <= 0 {
+		return 1
+	}
+	// Mean + 8 standard deviations covers any eps ≥ 1e-12 for m ≥ 1;
+	// grow adaptively for tiny eps or tiny m.
+	n := int(m + 8*math.Sqrt(m) + 10)
+	// Verify by explicit tail mass, extending if necessary.
+	for {
+		if poissonTail(m, n) < eps || n > 20_000_000 {
+			return n
+		}
+		n += n/2 + 10
+	}
+}
+
+// poissonTail returns P(Pois(m) > n).
+func poissonTail(m float64, n int) float64 {
+	logTerm := -m // log of e^{-m} (k = 0 term)
+	cdf := math.Exp(logTerm)
+	for k := 1; k <= n; k++ {
+		logTerm += math.Log(m / float64(k))
+		cdf += math.Exp(logTerm)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// TransientAt returns the state distribution at time t starting from p0,
+// computed by uniformization with truncation error below eps (1e-12 when
+// eps <= 0).
+func (c *CTMC) TransientAt(p0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkDist(p0); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("san: TransientAt negative time %g", t)
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	lambda := c.uniformizationRate()
+	mean := lambda * t
+	nTerms := poissonTerms(mean, eps)
+
+	n := len(p0)
+	cur := append([]float64(nil), p0...)
+	next := make([]float64, n)
+	result := make([]float64, n)
+
+	// Poisson weights computed iteratively in linear space with log
+	// rescaling for large means.
+	logW := -mean // log weight of term 0
+	for k := 0; k <= nTerms; k++ {
+		if k > 0 {
+			logW += math.Log(mean / float64(k))
+			c.dtmcStep(lambda, cur, next)
+			cur, next = next, cur
+		}
+		w := math.Exp(logW)
+		if w > 0 {
+			for i := range result {
+				result[i] += w * cur[i]
+			}
+		}
+	}
+	normalize(result)
+	return result, nil
+}
+
+// TransientAverage returns the time-averaged state distribution
+// (1/T)∫₀ᵀ p(t) dt starting from p0, computed exactly under
+// uniformization:
+//
+//	(1/T)∫₀ᵀ p(t)dt = Σₙ vₙ · P(Pois(ΛT) > n)/(ΛT),
+//
+// where vₙ = p0·Pⁿ. This is the quantity needed by the renewal argument
+// for the deterministic scheduled-deployment activity: the long-run
+// fraction of time in each state equals the average over one period.
+func (c *CTMC) TransientAverage(p0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkDist(p0); err != nil {
+		return nil, err
+	}
+	if t <= 0 {
+		return nil, fmt.Errorf("san: TransientAverage non-positive horizon %g", t)
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	lambda := c.uniformizationRate()
+	mean := lambda * t
+	nTerms := poissonTerms(mean, eps)
+
+	n := len(p0)
+	cur := append([]float64(nil), p0...)
+	next := make([]float64, n)
+	result := make([]float64, n)
+
+	// tail_k = P(Pois(mean) > k), maintained incrementally:
+	// tail_{-1} = 1; tail_k = tail_{k-1} − pmf(k).
+	logPmf := -mean
+	tail := 1 - math.Exp(logPmf) // after subtracting pmf(0)
+	for k := 0; k <= nTerms; k++ {
+		if k > 0 {
+			logPmf += math.Log(mean / float64(k))
+			tail -= math.Exp(logPmf)
+			if tail < 0 {
+				tail = 0
+			}
+			c.dtmcStep(lambda, cur, next)
+			cur, next = next, cur
+		}
+		w := tail / mean
+		if w > 0 {
+			for i := range result {
+				result[i] += w * cur[i]
+			}
+		}
+	}
+	normalize(result)
+	return result, nil
+}
+
+// SteadyState returns the stationary distribution of an irreducible CTMC
+// by power iteration on the uniformized DTMC. For chains with absorbing
+// states the iteration converges to the absorption distribution from the
+// initial marking's row — callers working with absorbing chains should
+// prefer TransientAt with a large t.
+func (c *CTMC) SteadyState(tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 2_000_000
+	}
+	lambda := c.uniformizationRate()
+	n := len(c.states)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		c.dtmcStep(lambda, cur, next)
+		var delta float64
+		for i := range cur {
+			if d := math.Abs(next[i] - cur[i]); d > delta {
+				delta = d
+			}
+		}
+		cur, next = next, cur
+		if delta < tol {
+			normalize(cur)
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("san: SteadyState power iteration did not converge in %d iterations", maxIter)
+}
+
+// ExpectedReward returns Σᵢ p(i)·reward(state i).
+func (c *CTMC) ExpectedReward(p []float64, reward func(Marking) float64) (float64, error) {
+	if err := c.checkDist(p); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i, pi := range p {
+		if pi == 0 {
+			continue
+		}
+		s += pi * reward(c.states[i])
+	}
+	return s, nil
+}
+
+// InitialDistribution returns the distribution concentrated on the given
+// marking, which must be reachable.
+func (c *CTMC) InitialDistribution(m Marking) ([]float64, error) {
+	idx := c.StateIndex(m)
+	if idx < 0 {
+		return nil, fmt.Errorf("san: marking %s is not reachable", m.Key())
+	}
+	p := make([]float64, len(c.states))
+	p[idx] = 1
+	return p, nil
+}
+
+func (c *CTMC) checkDist(p []float64) error {
+	if len(p) != len(c.states) {
+		return fmt.Errorf("san: distribution length %d, want %d states", len(p), len(c.states))
+	}
+	var sum float64
+	for _, v := range p {
+		if v < -1e-12 {
+			return fmt.Errorf("san: distribution has negative mass %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("san: distribution mass %g, want 1", sum)
+	}
+	return nil
+}
+
+func normalize(p []float64) {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

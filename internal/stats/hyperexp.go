@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hyperexponential is a probabilistic mixture of exponentials: with
+// probability Weights[i] the variate is Exp(Rates[i]). Its coefficient
+// of variation exceeds 1, making it the standard model for *bursty*
+// durations — a sensitivity counterpoint to the paper's plain
+// exponential signal-duration assumption (short chirps mixed with long
+// transmissions), usable directly through qos.GeneralModel.
+type Hyperexponential struct {
+	Weights []float64
+	Rates   []float64
+}
+
+// NewHyperexponential validates and constructs the mixture. Weights
+// must be positive and sum to 1 (within 1e-9); rates must be positive.
+func NewHyperexponential(weights, rates []float64) (Hyperexponential, error) {
+	if len(weights) == 0 || len(weights) != len(rates) {
+		return Hyperexponential{}, fmt.Errorf("stats: hyperexponential needs matching non-empty weights (%d) and rates (%d)",
+			len(weights), len(rates))
+	}
+	var sum float64
+	for i := range weights {
+		if weights[i] <= 0 || math.IsNaN(weights[i]) {
+			return Hyperexponential{}, fmt.Errorf("stats: hyperexponential weight %g at %d must be positive", weights[i], i)
+		}
+		if rates[i] <= 0 || math.IsNaN(rates[i]) {
+			return Hyperexponential{}, fmt.Errorf("stats: hyperexponential rate %g at %d must be positive", rates[i], i)
+		}
+		sum += weights[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Hyperexponential{}, fmt.Errorf("stats: hyperexponential weights sum to %g, want 1", sum)
+	}
+	h := Hyperexponential{
+		Weights: append([]float64(nil), weights...),
+		Rates:   append([]float64(nil), rates...),
+	}
+	return h, nil
+}
+
+// CDF implements Distribution.
+func (h Hyperexponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	var s float64
+	for i, w := range h.Weights {
+		s += w * -math.Expm1(-h.Rates[i]*x)
+	}
+	return s
+}
+
+// PDF implements Distribution.
+func (h Hyperexponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	var s float64
+	for i, w := range h.Weights {
+		s += w * h.Rates[i] * math.Exp(-h.Rates[i]*x)
+	}
+	return s
+}
+
+// Mean implements Distribution.
+func (h Hyperexponential) Mean() float64 {
+	var s float64
+	for i, w := range h.Weights {
+		s += w / h.Rates[i]
+	}
+	return s
+}
+
+// CV returns the coefficient of variation (>= 1 for any mixture of
+// exponentials).
+func (h Hyperexponential) CV() float64 {
+	mean := h.Mean()
+	var m2 float64
+	for i, w := range h.Weights {
+		m2 += 2 * w / (h.Rates[i] * h.Rates[i])
+	}
+	return math.Sqrt(m2-mean*mean) / mean
+}
+
+// Sample implements Distribution.
+func (h Hyperexponential) Sample(r *RNG) float64 {
+	u := r.Float64()
+	var acc float64
+	for i, w := range h.Weights {
+		acc += w
+		if u <= acc {
+			return r.Exp(h.Rates[i])
+		}
+	}
+	return r.Exp(h.Rates[len(h.Rates)-1])
+}
+
+var _ Distribution = Hyperexponential{}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHyperexponentialValidation(t *testing.T) {
+	if _, err := NewHyperexponential(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewHyperexponential([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewHyperexponential([]float64{0.5, 0.4}, []float64{1, 2}); err == nil {
+		t.Error("weights not summing to 1 accepted")
+	}
+	if _, err := NewHyperexponential([]float64{1.5, -0.5}, []float64{1, 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewHyperexponential([]float64{0.5, 0.5}, []float64{1, 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestHyperexponentialDegeneratesToExponential(t *testing.T) {
+	h, err := NewHyperexponential([]float64{1}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewExponential(0.5)
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if !approx(h.CDF(x), e.CDF(x), 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", x, h.CDF(x), e.CDF(x))
+		}
+		if !approx(h.PDF(x), e.PDF(x), 1e-12) {
+			t.Errorf("PDF(%v) = %v, want %v", x, h.PDF(x), e.PDF(x))
+		}
+	}
+	if !approx(h.Mean(), 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", h.Mean())
+	}
+	if !approx(h.CV(), 1, 1e-9) {
+		t.Errorf("single-branch CV = %v, want 1", h.CV())
+	}
+}
+
+func TestHyperexponentialMomentsAndSampling(t *testing.T) {
+	// Bursty mixture: mostly short chirps, occasionally long
+	// transmissions.
+	h, err := NewHyperexponential([]float64{0.9, 0.1}, []float64{5, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.9/5 + 0.1/0.1
+	if !approx(h.Mean(), wantMean, 1e-12) {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.CV() <= 1 {
+		t.Errorf("CV = %v, want > 1 (bursty)", h.CV())
+	}
+	r := NewRNG(31, 0)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		v := h.Sample(r)
+		if v < 0 {
+			t.Fatal("negative sample")
+		}
+		s.Observe(v)
+	}
+	if math.Abs(s.Mean()-wantMean)/wantMean > 0.03 {
+		t.Errorf("sample mean = %v, want %v", s.Mean(), wantMean)
+	}
+	// Empirical CDF vs analytic at a few probes.
+	for _, x := range []float64{0.1, 1, 5, 20} {
+		count := 0
+		r2 := NewRNG(32, 0)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if h.Sample(r2) <= x {
+				count++
+			}
+		}
+		if math.Abs(float64(count)/n-h.CDF(x)) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, analytic %v", x, float64(count)/n, h.CDF(x))
+		}
+	}
+	if h.PDF(-1) != 0 || h.CDF(-1) != 0 {
+		t.Error("support should start at 0")
+	}
+}
