@@ -11,10 +11,13 @@
 package satqos_test
 
 import (
+	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"satqos"
+	"satqos/internal/capacity"
 	"satqos/internal/experiment"
 	"satqos/internal/mission"
 	"satqos/internal/oaq"
@@ -246,6 +249,93 @@ func BenchmarkProtocolEpisode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigure9ColdCache regenerates Figure 9 with the memoized
+// capacity cache emptied every iteration, measuring the uncached solve
+// cost (the plain BenchmarkFigure9 measures the steady state, where all
+// ten distributions come from the cache).
+func BenchmarkFigure9ColdCache(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		capacity.ResetAnalyticCache()
+		if _, err := experiment.Figure9(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(capacity.ResetAnalyticCache)
+}
+
+// benchWorkers sweeps the worker count of a sweep driver, resetting the
+// capacity cache per iteration so the measurements compare engine
+// configurations rather than cache states.
+func benchWorkers(b *testing.B, workers []int, run func() error) {
+	b.Helper()
+	old := experiment.Workers
+	b.Cleanup(func() { experiment.Workers = old; capacity.ResetAnalyticCache() })
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			experiment.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				capacity.ResetAnalyticCache()
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9Workers sweeps the worker-pool size of the Figure 9
+// driver (each λ point is one unit of work).
+func BenchmarkFigure9Workers(b *testing.B) {
+	benchWorkers(b, []int{1, 2, 4}, func() error {
+		_, err := experiment.Figure9(nil)
+		return err
+	})
+}
+
+// BenchmarkSimVsAnalyticWorkers sweeps the worker-pool size of the
+// protocol-vs-model validation (each (k, scheme) cell is one unit).
+func BenchmarkSimVsAnalyticWorkers(b *testing.B) {
+	benchWorkers(b, []int{1, 2, 4}, func() error {
+		_, _, err := experiment.SimVsAnalytic([]int{10, 12}, 4000, 1)
+		return err
+	})
+}
+
+// BenchmarkEvaluateParallel sweeps the worker count of the sharded
+// protocol Monte-Carlo engine itself (4096 episodes = 4 shards).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	p := oaq.ReferenceParams(10, qos.SchemeOAQ)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := oaq.EvaluateParallel(p, 4096, 1, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProtocolEpisodeParallel measures episode throughput with one
+// protocol evaluator per benchmark goroutine (b.RunParallel), each on
+// its own RNG substream.
+func BenchmarkProtocolEpisodeParallel(b *testing.B) {
+	p := oaq.ReferenceParams(10, qos.SchemeOAQ)
+	var stream atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := stats.NewRNG(1, stream.Add(1))
+		for pb.Next() {
+			if _, err := oaq.RunEpisode(p, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkQoSMeasureEndToEnd measures the full Eq. (3) pipeline through

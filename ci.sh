@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: everything must build, pass vet, and pass the full test
+# suite under the race detector (the parallel evaluation engine, sweep
+# drivers, and mission batch all exercise their concurrent paths in
+# their package tests).
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...

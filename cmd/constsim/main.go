@@ -48,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	phi := fs.Float64("phi", 30000, "scheduled-deployment period φ (hours, capacity mode)")
 	periods := fs.Int("periods", 200, "simulated deployment periods (capacity mode)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker-pool size for the protocol Monte-Carlo (0 = GOMAXPROCS; results are identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +70,7 @@ func run(args []string, w io.Writer) error {
 		p.ComputeTime = stats.Exponential{Rate: *nu}
 		p.BackwardMessaging = *backward
 		p.FailSilentProb = *failSilent
-		ev, err := oaq.Evaluate(p, *episodes, stats.NewRNG(*seed, 0))
+		ev, err := oaq.EvaluateParallel(p, *episodes, *seed, *workers)
 		if err != nil {
 			return err
 		}

@@ -48,6 +48,7 @@ type options struct {
 	eta      int
 	phi      float64
 	lambdas  []float64
+	workers  int
 }
 
 // writeSVG renders a sweep as an SVG chart into the -svg directory.
@@ -102,10 +103,12 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&opt.eta, "eta", 10, "threshold capacity for fig7/capacity")
 	fs.Float64Var(&opt.phi, "phi", 30000, "scheduled-deployment period (hours)")
 	lambdaList := fs.String("lambdas", "", "comma-separated failure rates (default: the paper's 1e-5..1e-4 grid)")
+	fs.IntVar(&opt.workers, "workers", 0, "worker-pool size for sweeps and simulations (0 = GOMAXPROCS; results are identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opt.seed = *seed
+	experiment.Workers = opt.workers
 	if *lambdaList != "" {
 		for _, tok := range strings.Split(*lambdaList, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -314,6 +317,7 @@ func runMission(opt options, w io.Writer) error {
 		cfg.Scheme = scheme
 		cfg.Seed = opt.seed
 		cfg.SignalRatePerMin = 0.05
+		cfg.Workers = opt.workers
 		rep, err := mission.Run(cfg, 24*60)
 		if err != nil {
 			return err

@@ -1,0 +1,76 @@
+package capacity
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"satqos/internal/numeric"
+)
+
+// The memoized Analytic cache. Params is a small comparable value (three
+// ints, two floats) and serves directly as the key, so any two calls
+// with the same plane design, policies, λ and φ share one solve. A
+// Distribution is immutable after construction, which makes the cached
+// pointer safe to hand to every caller, including concurrent sweep
+// workers.
+//
+// The cache is unbounded by design: a sweep touches one entry per grid
+// point (tens, not millions), and each entry is a few hundred bytes.
+// Long-running processes that generate unbounded distinct Params can
+// call ResetAnalyticCache to release the entries.
+var analyticCache = struct {
+	sync.RWMutex
+	m map[Params]*Distribution
+}{m: make(map[Params]*Distribution)}
+
+var cacheHits, cacheMisses atomic.Uint64
+
+// stepperPool recycles RK4 stage buffers across transient solves (the
+// cache makes solves rare, but sweeps over distinct λ still do one per
+// grid point, possibly concurrently).
+var stepperPool = sync.Pool{New: func() any { return numeric.NewRK4Stepper(0) }}
+
+// analyticCached consults the memo before solving. Under a concurrent
+// first miss for the same Params both goroutines solve, but only one
+// result is installed and both return it — the loser's duplicate work is
+// the price of not holding a lock across an RK4 solve.
+func (p Params) analyticCached() (*Distribution, error) {
+	analyticCache.RLock()
+	d, ok := analyticCache.m[p]
+	analyticCache.RUnlock()
+	if ok {
+		cacheHits.Add(1)
+		return d, nil
+	}
+	d, err := p.analyticUncached()
+	if err != nil {
+		// Invalid Params fail fast on every call; not worth caching.
+		return nil, err
+	}
+	cacheMisses.Add(1)
+	analyticCache.Lock()
+	if prev, ok := analyticCache.m[p]; ok {
+		d = prev
+	} else {
+		analyticCache.m[p] = d
+	}
+	analyticCache.Unlock()
+	return d, nil
+}
+
+// AnalyticCacheStats returns the cumulative hit and miss counters of the
+// memoized Analytic cache (a miss is a completed solve). Exposed for
+// tests and for operational visibility into sweep reuse.
+func AnalyticCacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// ResetAnalyticCache drops every memoized distribution and zeroes the
+// hit/miss counters.
+func ResetAnalyticCache() {
+	analyticCache.Lock()
+	analyticCache.m = make(map[Params]*Distribution)
+	analyticCache.Unlock()
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}

@@ -184,7 +184,17 @@ func (d *Distribution) String() string {
 //	p_f(φ) − p_f(0) = r_{f−1} I_{f−1} − r_f I_f,
 //
 // which needs no further quadrature. P(K=k) = Σ_{f : k(f)=k} I_f / φ.
+//
+// Results are memoized per Params value (see cache.go): across a sweep
+// the transient solve runs once per distinct (N, S, η, λ, φ) and repeat
+// calls return the shared, immutable Distribution.
 func (p Params) Analytic() (*Distribution, error) {
+	return p.analyticCached()
+}
+
+// analyticUncached performs the actual transient solve; Analytic wraps
+// it with the memoization layer.
+func (p Params) analyticUncached() (*Distribution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +218,10 @@ func (p Params) Analytic() (*Distribution, error) {
 	// Step resolution: resolve both the fastest rate and the horizon.
 	maxRate := rates[0]
 	step := math.Min(p.PhiHours/2000, 0.05/maxRate)
-	if _, err := numeric.RK4(deriv, pT, 0, p.PhiHours, step); err != nil {
+	st := stepperPool.Get().(*numeric.RK4Stepper)
+	_, err := st.Integrate(deriv, pT, 0, p.PhiHours, step)
+	stepperPool.Put(st)
+	if err != nil {
 		return nil, fmt.Errorf("capacity: transient solve: %w", err)
 	}
 

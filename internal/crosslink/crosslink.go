@@ -100,6 +100,15 @@ func NewNetwork(sim *des.Simulation, cfg Config, rng *stats.RNG) (*Network, erro
 // MaxDelay returns δ.
 func (n *Network) MaxDelay() float64 { return n.delta }
 
+// Reset clears the handler registrations, fail-silence marks, and
+// counters, keeping the map storage, so the network can host a fresh
+// episode on the same (reset) simulation without reallocating.
+func (n *Network) Reset() {
+	clear(n.handlers)
+	clear(n.failSilent)
+	n.stats = Stats{}
+}
+
 // Register installs the delivery handler for a node, replacing any
 // previous one.
 func (n *Network) Register(id NodeID, h Handler) error {

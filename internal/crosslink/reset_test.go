@@ -1,0 +1,52 @@
+package crosslink
+
+import (
+	"testing"
+
+	"satqos/internal/des"
+	"satqos/internal/stats"
+)
+
+func TestNetworkReset(t *testing.T) {
+	sim := &des.Simulation{}
+	n, err := NewNetwork(sim, Config{MaxDelayMin: 0.5}, stats.NewRNG(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := n.Register(1, func(float64, Message) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	n.SetFailSilent(2, true)
+	if err := n.Send(1, 1, "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if got != 1 || n.Stats().Sent != 1 {
+		t.Fatalf("pre-reset: delivered=%d sent=%d", got, n.Stats().Sent)
+	}
+
+	sim.Reset()
+	n.Reset()
+	if n.Stats() != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", n.Stats())
+	}
+	if n.FailSilent(2) {
+		t.Fatal("fail-silent mark survived reset")
+	}
+	// Handlers are gone: sending to the old node is a wiring error again.
+	if err := n.Send(1, 1, "ping", nil); err == nil {
+		t.Fatal("send to unregistered node accepted after reset")
+	}
+	// Re-registration restores service.
+	if err := n.Register(1, func(float64, Message) { got += 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, 1, "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if got != 11 || n.Stats().Delivered != 1 {
+		t.Fatalf("post-reset: got=%d delivered=%d", got, n.Stats().Delivered)
+	}
+}

@@ -47,7 +47,40 @@ type Simulation struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	// reuse enables the fired-event freelist (see EnableEventReuse).
+	reuse bool
+	free  []*Event
 }
+
+// Reset returns the simulation to time zero with an empty event queue,
+// keeping the queue's backing storage and the recycled-event pool so a
+// caller can run many short simulations back to back without
+// reallocating. Any *Event previously returned by Schedule is invalid
+// after a Reset.
+func (s *Simulation) Reset() {
+	for i, e := range s.queue {
+		if s.reuse {
+			e.handler = nil
+			s.free = append(s.free, e)
+		}
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.halted = false
+}
+
+// EnableEventReuse turns on recycling of fired events: Step returns each
+// event's storage to a freelist that Schedule draws from. This is safe
+// only for callers that never Cancel an event after it has fired and
+// never retain the *Event returned by Schedule past its firing — a
+// recycled pointer would then refer to an unrelated live event. The OAQ
+// episode engine qualifies (it discards every schedule handle);
+// package membership does not (its Ticker stop function cancels a
+// possibly-fired event).
+func (s *Simulation) EnableEventReuse() { s.reuse = true }
 
 // Now returns the current simulation time.
 func (s *Simulation) Now() float64 { return s.now }
@@ -77,7 +110,15 @@ func (s *Simulation) Schedule(delay float64, label string, handler Handler) *Eve
 		panic(fmt.Sprintf("des: Schedule(%q) with negative or NaN delay %g", label, delay))
 	}
 	s.seq++
-	e := &Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+	} else {
+		e = &Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+	}
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -118,6 +159,12 @@ func (s *Simulation) Step() bool {
 		s.now = e.time
 		s.fired++
 		e.handler(s.now)
+		if s.reuse {
+			// Recycled after the handler so a handler scheduling new
+			// events cannot be handed its own in-flight event.
+			e.handler = nil
+			s.free = append(s.free, e)
+		}
 		return true
 	}
 	return false

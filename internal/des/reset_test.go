@@ -1,0 +1,77 @@
+package des
+
+import "testing"
+
+func TestResetClearsStateKeepsStorage(t *testing.T) {
+	s := &Simulation{}
+	var fired int
+	for i := 0; i < 8; i++ {
+		s.Schedule(float64(i), "e", func(float64) { fired++ })
+	}
+	s.Run(3)
+	if fired != 4 {
+		t.Fatalf("fired %d events before reset, want 4", fired)
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("reset left now=%v fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+	// The simulation is fully usable again from time zero.
+	order := []float64{}
+	s.Schedule(2, "b", func(now float64) { order = append(order, now) })
+	s.Schedule(1, "a", func(now float64) { order = append(order, now) })
+	s.Run(10)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-reset run fired %v", order)
+	}
+}
+
+// With event reuse on, a long sequence of schedule/fire cycles recycles
+// the same Event structs while preserving (time, seq) ordering.
+func TestEventReuseKeepsDeterministicOrder(t *testing.T) {
+	run := func(reuse bool) []int {
+		s := &Simulation{}
+		if reuse {
+			s.EnableEventReuse()
+		}
+		var log []int
+		for round := 0; round < 5; round++ {
+			id := round * 10
+			s.Schedule(1, "x", func(float64) { log = append(log, id) })
+			s.Schedule(1, "y", func(float64) { log = append(log, id+1) })
+			s.Schedule(0.5, "z", func(float64) { log = append(log, id+2) })
+			s.Run(s.Now() + 2)
+			s.Reset()
+		}
+		return log
+	}
+	plain, reused := run(false), run(true)
+	if len(plain) != len(reused) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(reused))
+	}
+	for i := range plain {
+		if plain[i] != reused[i] {
+			t.Fatalf("event order diverges at %d: %v vs %v", i, plain, reused)
+		}
+	}
+}
+
+// A handler scheduling new events while reuse is on must never receive
+// its own in-flight event back.
+func TestEventReuseHandlerScheduling(t *testing.T) {
+	s := &Simulation{}
+	s.EnableEventReuse()
+	depth := 0
+	var grow Handler
+	grow = func(float64) {
+		depth++
+		if depth < 100 {
+			s.Schedule(0.1, "grow", grow)
+		}
+	}
+	s.Schedule(0.1, "grow", grow)
+	s.Run(1000)
+	if depth != 100 {
+		t.Fatalf("chain depth %d, want 100", depth)
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"satqos/internal/oaq"
+	"satqos/internal/parallel"
 	"satqos/internal/qos"
-	"satqos/internal/stats"
 )
 
 // PicoScaling studies the paper's §2 claim that the OAQ framework "is
@@ -19,7 +19,8 @@ import (
 // then degraded by a fraction of its population and the conditional
 // QoS measure P(Y >= 2 | k) is evaluated for both schemes. Larger
 // populations degrade more gracefully, and OAQ's advantage survives
-// deeper into the degradation.
+// deeper into the degradation. The loss-fraction points of each
+// population run concurrently.
 func PicoScaling(populations []int, lossFractions []float64, tau, mu, nu float64) (*Sweep, error) {
 	if len(populations) == 0 {
 		populations = []int{14, 28, 56, 112}
@@ -28,6 +29,7 @@ func PicoScaling(populations []int, lossFractions []float64, tau, mu, nu float64
 		lossFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	}
 	const theta = 90.0
+	schemes := []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ}
 	sweep := &Sweep{
 		Title:  fmt.Sprintf("Pico-constellation scaling: P(Y>=2 | loss) (tau=%g, mu=%g, nu=%g)", tau, mu, nu),
 		XLabel: "loss-fraction",
@@ -46,21 +48,32 @@ func PicoScaling(populations []int, lossFractions []float64, tau, mu, nu float64
 		if err != nil {
 			return nil, err
 		}
-		for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
-			values := make([]float64, 0, len(lossFractions))
-			for _, f := range lossFractions {
-				if f < 0 || f >= 1 {
-					return nil, fmt.Errorf("experiment: loss fraction %g outside [0, 1)", f)
-				}
-				k := int(math.Round(float64(n) * (1 - f)))
-				if k < 1 {
-					k = 1
-				}
+		cols, err := parallel.MapSlice(Workers, len(lossFractions), func(i int) ([]float64, error) {
+			f := lossFractions[i]
+			if f < 0 || f >= 1 {
+				return nil, fmt.Errorf("experiment: loss fraction %g outside [0, 1)", f)
+			}
+			k := int(math.Round(float64(n) * (1 - f)))
+			if k < 1 {
+				k = 1
+			}
+			col := make([]float64, len(schemes))
+			for j, scheme := range schemes {
 				pmf, err := model.ConditionalPMF(scheme, k)
 				if err != nil {
 					return nil, err
 				}
-				values = append(values, pmf.CCDF(qos.LevelSequentialDual))
+				col[j] = pmf.CCDF(qos.LevelSequentialDual)
+			}
+			return col, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for j, scheme := range schemes {
+			values := make([]float64, len(lossFractions))
+			for i := range cols {
+				values[i] = cols[i][j]
 			}
 			sweep.Series = append(sweep.Series, Series{
 				Name:   fmt.Sprintf("%v N=%d", scheme, n),
@@ -75,6 +88,10 @@ func PicoScaling(populations []int, lossFractions []float64, tau, mu, nu float64
 // under fail-silent peers: the backward ("coordination done") variant
 // guarantees delivery; the no-backward variant (the paper's evaluation
 // assumption) loses alerts when the requested peer dies.
+//
+// Every cell runs oaq.EvaluateParallel with the same seed, so all cells
+// see the same episode workload (common random numbers across the
+// x-axis) and the sweep is deterministic at any Workers setting.
 func AblationBackwardMessaging(failProbs []float64, episodes int, seed uint64) (*Sweep, error) {
 	if len(failProbs) == 0 {
 		failProbs = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8}
@@ -87,24 +104,29 @@ func AblationBackwardMessaging(failProbs []float64, episodes int, seed uint64) (
 		XLabel: "fail-silent-prob",
 		X:      failProbs,
 	}
-	rng := stats.NewRNG(seed, 0)
 	for _, backward := range []bool{true, false} {
 		name := "no-backward"
 		if backward {
 			name = "backward"
 		}
-		delivered := make([]float64, 0, len(failProbs))
-		level2 := make([]float64, 0, len(failProbs))
-		for _, fp := range failProbs {
+		evs, err := parallel.MapSlice(Workers, len(failProbs), func(i int) (*oaq.Evaluation, error) {
 			p := oaq.ReferenceParams(10, qos.SchemeOAQ)
 			p.BackwardMessaging = backward
-			p.FailSilentProb = fp
-			ev, err := oaq.Evaluate(p, episodes, rng)
+			p.FailSilentProb = failProbs[i]
+			ev, err := oaq.EvaluateParallel(p, episodes, seed, 1)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: ablation at failProb=%g: %w", fp, err)
+				return nil, fmt.Errorf("experiment: ablation at failProb=%g: %w", failProbs[i], err)
 			}
-			delivered = append(delivered, ev.DeliveredFraction)
-			level2 = append(level2, ev.PMF[qos.LevelSequentialDual])
+			return ev, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		delivered := make([]float64, len(evs))
+		level2 := make([]float64, len(evs))
+		for i, ev := range evs {
+			delivered[i] = ev.DeliveredFraction
+			level2[i] = ev.PMF[qos.LevelSequentialDual]
 		}
 		sweep.Series = append(sweep.Series,
 			Series{Name: name + " delivered", Values: delivered},
@@ -117,7 +139,8 @@ func AblationBackwardMessaging(failProbs []float64, episodes int, seed uint64) (
 // AblationProtocolConstants measures how the empirical protocol drifts
 // from the analytic model (which treats δ and T_g as negligible) as the
 // crosslink delay bound and the computation bound grow toward τ. This
-// quantifies when the paper's modeling assumption stops being safe.
+// quantifies when the paper's modeling assumption stops being safe. The
+// δ points run concurrently under common random numbers.
 func AblationProtocolConstants(deltas []float64, episodes int, seed uint64) (*Sweep, error) {
 	if len(deltas) == 0 {
 		deltas = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1}
@@ -138,19 +161,24 @@ func AblationProtocolConstants(deltas []float64, episodes int, seed uint64) (*Sw
 			fmt.Sprintf("analytic P(Y=2|10) = %.4f assumes δ, T_g → 0; T_g tracks 5δ here", ana[qos.LevelSequentialDual]),
 		},
 	}
-	rng := stats.NewRNG(seed, 0)
-	empirical := make([]float64, 0, len(deltas))
-	drift := make([]float64, 0, len(deltas))
-	for _, d := range deltas {
+	evs, err := parallel.MapSlice(Workers, len(deltas), func(i int) (*oaq.Evaluation, error) {
 		p := oaq.ReferenceParams(10, qos.SchemeOAQ)
-		p.DeltaMin = d
-		p.TgMin = 5 * d
-		ev, err := oaq.Evaluate(p, episodes, rng)
+		p.DeltaMin = deltas[i]
+		p.TgMin = 5 * deltas[i]
+		ev, err := oaq.EvaluateParallel(p, episodes, seed, 1)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: constants ablation at δ=%g: %w", d, err)
+			return nil, fmt.Errorf("experiment: constants ablation at δ=%g: %w", deltas[i], err)
 		}
-		empirical = append(empirical, ev.PMF[qos.LevelSequentialDual])
-		drift = append(drift, math.Abs(ev.PMF[qos.LevelSequentialDual]-ana[qos.LevelSequentialDual]))
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	empirical := make([]float64, len(evs))
+	drift := make([]float64, len(evs))
+	for i, ev := range evs {
+		empirical[i] = ev.PMF[qos.LevelSequentialDual]
+		drift[i] = math.Abs(ev.PMF[qos.LevelSequentialDual] - ana[qos.LevelSequentialDual])
 	}
 	sweep.Series = append(sweep.Series,
 		Series{Name: "empirical P(Y=2)", Values: empirical},
@@ -163,7 +191,8 @@ func AblationProtocolConstants(deltas []float64, episodes int, seed uint64) (*Sw
 // stops coordination after the first pass (saving crosslink messages at
 // the price of QoS level 2), a strict one lets chains run to the
 // deadline. It exposes the quality/cost trade the termination condition
-// encodes.
+// encodes. The threshold points run concurrently under common random
+// numbers, so the series differences isolate the threshold's effect.
 func AblationTC1(thresholds []float64, episodes int, seed uint64) (*Sweep, error) {
 	if len(thresholds) == 0 {
 		thresholds = []float64{0, 1, 5, 10, 12, 16, 20}
@@ -179,20 +208,25 @@ func AblationTC1(thresholds []float64, episodes int, seed uint64) (*Sweep, error
 			"threshold 0 disables TC-1; thresholds above 15 km are satisfied by a single pass",
 		},
 	}
-	rng := stats.NewRNG(seed, 0)
-	level2 := make([]float64, 0, len(thresholds))
-	messages := make([]float64, 0, len(thresholds))
-	chains := make([]float64, 0, len(thresholds))
-	for _, th := range thresholds {
+	evs, err := parallel.MapSlice(Workers, len(thresholds), func(i int) (*oaq.Evaluation, error) {
 		p := oaq.ReferenceParams(10, qos.SchemeOAQ)
-		p.ErrorThresholdKm = th
-		ev, err := oaq.Evaluate(p, episodes, rng)
+		p.ErrorThresholdKm = thresholds[i]
+		ev, err := oaq.EvaluateParallel(p, episodes, seed, 1)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: TC-1 ablation at threshold=%g: %w", th, err)
+			return nil, fmt.Errorf("experiment: TC-1 ablation at threshold=%g: %w", thresholds[i], err)
 		}
-		level2 = append(level2, ev.PMF[qos.LevelSequentialDual])
-		messages = append(messages, ev.MeanMessages)
-		chains = append(chains, ev.MeanChainLength)
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	level2 := make([]float64, len(evs))
+	messages := make([]float64, len(evs))
+	chains := make([]float64, len(evs))
+	for i, ev := range evs {
+		level2[i] = ev.PMF[qos.LevelSequentialDual]
+		messages[i] = ev.MeanMessages
+		chains[i] = ev.MeanChainLength
 	}
 	sweep.Series = append(sweep.Series,
 		Series{Name: "P(Y=2)", Values: level2},

@@ -8,6 +8,7 @@ import (
 	"satqos/internal/constellation"
 	"satqos/internal/oaq"
 	"satqos/internal/orbit"
+	"satqos/internal/parallel"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -16,7 +17,8 @@ import (
 // discrete-event protocol simulation: for each capacity and scheme it
 // reports the analytic P(Y = y | k) next to the empirical level
 // distribution of the running protocol, with the maximum absolute
-// discrepancy.
+// discrepancy. The (k, scheme) cells simulate concurrently, every cell
+// on the same seeded workload, and the table assembles in cell order.
 func SimVsAnalytic(capacities []int, episodes int, seed uint64) (*Table, float64, error) {
 	if len(capacities) == 0 {
 		capacities = []int{9, 10, 12, 14}
@@ -25,7 +27,6 @@ func SimVsAnalytic(capacities []int, episodes int, seed uint64) (*Table, float64
 		episodes = 20000
 	}
 	model := qos.ReferenceModel()
-	rng := stats.NewRNG(seed, 0)
 	t := &Table{
 		Title: fmt.Sprintf("Protocol simulation vs analytic model (%d episodes per cell)", episodes),
 		Columns: []string{
@@ -33,32 +34,47 @@ func SimVsAnalytic(capacities []int, episodes int, seed uint64) (*Table, float64
 			"P(Y=0) sim/ana", "P(Y=1) sim/ana", "P(Y=2) sim/ana", "P(Y=3) sim/ana", "max |diff|",
 		},
 	}
-	var worst float64
+	type cell struct {
+		k      int
+		scheme qos.Scheme
+	}
+	var cells []cell
 	for _, k := range capacities {
 		for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
-			ev, err := oaq.Evaluate(oaq.ReferenceParams(k, scheme), episodes, rng)
-			if err != nil {
-				return nil, 0, fmt.Errorf("experiment: simulate k=%d %v: %w", k, scheme, err)
-			}
-			ana, err := model.ConditionalPMF(scheme, k)
-			if err != nil {
-				return nil, 0, err
-			}
-			row := []string{fmt.Sprintf("%d", k), scheme.String()}
-			var rowWorst float64
-			for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
-				d := math.Abs(ev.PMF[y] - ana[y])
-				if d > rowWorst {
-					rowWorst = d
-				}
-				row = append(row, fmt.Sprintf("%.4f/%.4f", ev.PMF[y], ana[y]))
-			}
-			if rowWorst > worst {
-				worst = rowWorst
-			}
-			row = append(row, fmt.Sprintf("%.4f", rowWorst))
-			t.Rows = append(t.Rows, row)
+			cells = append(cells, cell{k, scheme})
 		}
+	}
+	evs, err := parallel.MapSlice(Workers, len(cells), func(i int) (*oaq.Evaluation, error) {
+		c := cells[i]
+		ev, err := oaq.EvaluateParallel(oaq.ReferenceParams(c.k, c.scheme), episodes, seed, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: simulate k=%d %v: %w", c.k, c.scheme, err)
+		}
+		return ev, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var worst float64
+	for i, c := range cells {
+		ana, err := model.ConditionalPMF(c.scheme, c.k)
+		if err != nil {
+			return nil, 0, err
+		}
+		row := []string{fmt.Sprintf("%d", c.k), c.scheme.String()}
+		var rowWorst float64
+		for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
+			d := math.Abs(evs[i].PMF[y] - ana[y])
+			if d > rowWorst {
+				rowWorst = d
+			}
+			row = append(row, fmt.Sprintf("%.4f/%.4f", evs[i].PMF[y], ana[y]))
+		}
+		if rowWorst > worst {
+			worst = rowWorst
+		}
+		row = append(row, fmt.Sprintf("%.4f", rowWorst))
+		t.Rows = append(t.Rows, row)
 	}
 	return t, worst, nil
 }

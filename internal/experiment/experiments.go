@@ -5,8 +5,20 @@ import (
 
 	"satqos/internal/capacity"
 	"satqos/internal/numeric"
+	"satqos/internal/parallel"
 	"satqos/internal/qos"
 )
+
+// Workers is the parallelism of every sweep driver in this package:
+// each x-axis point (and, for the simulation experiments, each
+// table cell) is an independent unit of work fanned out over a bounded
+// worker pool. Zero or negative selects parallel.DefaultWorkers().
+// Results are deterministic — identical for any setting — because every
+// unit derives its randomness from its own (seed, substream) pair and
+// results are assembled in input order. Set it once at startup (the
+// CLIs wire -workers to it); it is not synchronized against concurrent
+// mutation during a running sweep.
+var Workers int
 
 // DefaultLambdas is the λ axis of the paper's figures: 1e-5 to 1e-4 per
 // hour in steps of 1e-5.
@@ -43,7 +55,8 @@ func Table1() *Table {
 
 // Figure7 reproduces Figure 7: the plane-capacity probabilities P(K = k)
 // as functions of the node-failure rate λ, with threshold η = 10 and
-// scheduled-deployment period φ = 30000 h.
+// scheduled-deployment period φ = 30000 h. The λ points solve
+// concurrently (Workers wide).
 func Figure7(lambdas []float64, eta int, phiHours float64) (*Sweep, error) {
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
@@ -56,20 +69,28 @@ func Figure7(lambdas []float64, eta int, phiHours float64) (*Sweep, error) {
 			"analytic route: time-averaged transient of the plane-capacity chain over one scheduled-deployment period",
 		},
 	}
-	series := make(map[int][]float64)
-	for _, lambda := range lambdas {
-		dist, err := capacity.ReferenceParams(eta, lambda, phiHours).Analytic()
+	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+		dist, err := capacity.ReferenceParams(eta, lambdas[i], phiHours).Analytic()
 		if err != nil {
-			return nil, fmt.Errorf("experiment: Figure7 at λ=%g: %w", lambda, err)
+			return nil, fmt.Errorf("experiment: Figure7 at λ=%g: %w", lambdas[i], err)
 		}
+		col := make([]float64, 0, 14-eta+1)
 		for k := eta; k <= 14; k++ {
-			series[k] = append(series[k], dist.P(k))
+			col = append(col, dist.P(k))
 		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for k := eta; k <= 14; k++ {
+	for ki, k := 0, eta; k <= 14; ki, k = ki+1, k+1 {
+		values := make([]float64, len(lambdas))
+		for i := range cols {
+			values[i] = cols[i][ki]
+		}
 		sweep.Series = append(sweep.Series, Series{
 			Name:   fmt.Sprintf("P(K=%d)", k),
-			Values: series[k],
+			Values: values,
 		})
 	}
 	return sweep, nil
@@ -77,6 +98,9 @@ func Figure7(lambdas []float64, eta int, phiHours float64) (*Sweep, error) {
 
 // Figure8 reproduces Figure 8: P(Y = 3) as a function of λ for OAQ and
 // BAQ at µ = 0.2 and µ = 0.5 (τ = 5, ν = 30, η = 12, φ = 30000 h).
+// Each λ point computes its capacity distribution once (the memoized
+// Analytic cache makes repeats free anyway) and evaluates all four
+// (scheme, µ) series from it; the λ points run concurrently.
 func Figure8(lambdas []float64) (*Sweep, error) {
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
@@ -102,22 +126,36 @@ func Figure8(lambdas []float64) (*Sweep, error) {
 		{qos.SchemeBAQ, 0.2},
 		{qos.SchemeBAQ, 0.5},
 	}
-	for _, c := range cfgs {
+	models := make([]qos.Model, len(cfgs))
+	for j, c := range cfgs {
 		model, err := qos.NewModel(qos.ReferenceGeometry(), tau, c.mu, nu)
 		if err != nil {
 			return nil, err
 		}
-		values := make([]float64, 0, len(lambdas))
-		for _, lambda := range lambdas {
-			dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: Figure8 at λ=%g: %w", lambda, err)
-			}
-			pmf, err := model.Compose(c.scheme, dist)
+		models[j] = model
+	}
+	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+		dist, err := capacity.ReferenceParams(eta, lambdas[i], phi).Analytic()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: Figure8 at λ=%g: %w", lambdas[i], err)
+		}
+		col := make([]float64, len(cfgs))
+		for j, c := range cfgs {
+			pmf, err := models[j].Compose(c.scheme, dist)
 			if err != nil {
 				return nil, err
 			}
-			values = append(values, pmf[qos.LevelSimultaneousDual])
+			col[j] = pmf[qos.LevelSimultaneousDual]
+		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range cfgs {
+		values := make([]float64, len(lambdas))
+		for i := range cols {
+			values[i] = cols[i][j]
 		}
 		sweep.Series = append(sweep.Series, Series{
 			Name:   fmt.Sprintf("%v (mu=%g)", c.scheme, c.mu),
@@ -130,7 +168,9 @@ func Figure8(lambdas []float64) (*Sweep, error) {
 // Figure9 reproduces Figure 9: the QoS measure P(Y >= y) for
 // y ∈ {1, 2, 3} under OAQ and BAQ (τ = 5, µ = 0.2, ν = 30, η = 10,
 // φ = 30000 h — the η = 10 setting of Figure 7, which matches the
-// paper's reported endpoint values).
+// paper's reported endpoint values). Each λ point solves its capacity
+// distribution once and evaluates all six (scheme, y) series from it;
+// the λ points run concurrently.
 func Figure9(lambdas []float64) (*Sweep, error) {
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
@@ -154,25 +194,43 @@ func Figure9(lambdas []float64) (*Sweep, error) {
 			"eta=10 (the Figure 7 setting): reproduces the paper's endpoints P(Y>=2) 0.75/0.33 at 1e-5 and 0.41/0.04 at 1e-4",
 		},
 	}
+	type cell struct {
+		scheme qos.Scheme
+		y      qos.Level
+	}
+	var cells []cell
 	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
 		for y := qos.LevelSimultaneousDual; y >= qos.LevelSingle; y-- {
-			values := make([]float64, 0, len(lambdas))
-			for _, lambda := range lambdas {
-				dist, err := capacity.ReferenceParams(eta, lambda, phi).Analytic()
-				if err != nil {
-					return nil, fmt.Errorf("experiment: Figure9 at λ=%g: %w", lambda, err)
-				}
-				v, err := model.Measure(scheme, dist, y)
-				if err != nil {
-					return nil, err
-				}
-				values = append(values, v)
-			}
-			sweep.Series = append(sweep.Series, Series{
-				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
-				Values: values,
-			})
+			cells = append(cells, cell{scheme, y})
 		}
+	}
+	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+		dist, err := capacity.ReferenceParams(eta, lambdas[i], phi).Analytic()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: Figure9 at λ=%g: %w", lambdas[i], err)
+		}
+		col := make([]float64, len(cells))
+		for j, c := range cells {
+			v, err := model.Measure(c.scheme, dist, c.y)
+			if err != nil {
+				return nil, err
+			}
+			col[j] = v
+		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range cells {
+		values := make([]float64, len(lambdas))
+		for i := range cols {
+			values[i] = cols[i][j]
+		}
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("%v y>=%d", c.scheme, int(c.y)),
+			Values: values,
+		})
 	}
 	return sweep, nil
 }
@@ -213,8 +271,26 @@ func Section43Spot() (*Table, error) {
 	return t, nil
 }
 
+// schemeLevelCells is the (scheme, y) series grid shared by TauSweep and
+// DurationSweep, in presentation order.
+type schemeLevelCell struct {
+	scheme qos.Scheme
+	y      qos.Level
+}
+
+func schemeLevelCells() []schemeLevelCell {
+	var cells []schemeLevelCell
+	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
+		for _, y := range []qos.Level{qos.LevelSequentialDual, qos.LevelSimultaneousDual} {
+			cells = append(cells, schemeLevelCell{scheme, y})
+		}
+	}
+	return cells
+}
+
 // TauSweep reproduces the §4.3 experiment "the QoS measure as a function
-// of τ": OAQ exploits the full time allowance while BAQ plateaus.
+// of τ": OAQ exploits the full time allowance while BAQ plateaus. The τ
+// points run concurrently.
 func TauSweep(taus []float64, lambda float64) (*Sweep, error) {
 	if len(taus) == 0 {
 		taus = numeric.Linspace(1, 9, 9)
@@ -234,32 +310,42 @@ func TauSweep(taus []float64, lambda float64) (*Sweep, error) {
 		XLabel: "tau(min)",
 		X:      taus,
 	}
-	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
-		for _, y := range []qos.Level{qos.LevelSequentialDual, qos.LevelSimultaneousDual} {
-			values := make([]float64, 0, len(taus))
-			for _, tau := range taus {
-				model, err := qos.NewModel(qos.ReferenceGeometry(), tau, mu, nu)
-				if err != nil {
-					return nil, err
-				}
-				v, err := model.Measure(scheme, dist, y)
-				if err != nil {
-					return nil, err
-				}
-				values = append(values, v)
-			}
-			sweep.Series = append(sweep.Series, Series{
-				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
-				Values: values,
-			})
+	cells := schemeLevelCells()
+	cols, err := parallel.MapSlice(Workers, len(taus), func(i int) ([]float64, error) {
+		model, err := qos.NewModel(qos.ReferenceGeometry(), taus[i], mu, nu)
+		if err != nil {
+			return nil, err
 		}
+		col := make([]float64, len(cells))
+		for j, c := range cells {
+			v, err := model.Measure(c.scheme, dist, c.y)
+			if err != nil {
+				return nil, err
+			}
+			col[j] = v
+		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range cells {
+		values := make([]float64, len(taus))
+		for i := range cols {
+			values[i] = cols[i][j]
+		}
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("%v y>=%d", c.scheme, int(c.y)),
+			Values: values,
+		})
 	}
 	return sweep, nil
 }
 
 // DurationSweep reproduces the §4.3 experiment "the QoS measure as a
 // function of the mean signal duration": OAQ treats longer signals as
-// extended opportunity; BAQ is insensitive.
+// extended opportunity; BAQ is insensitive. The duration points run
+// concurrently.
 func DurationSweep(meanDurations []float64, lambda float64) (*Sweep, error) {
 	if len(meanDurations) == 0 {
 		meanDurations = []float64{0.5, 1, 2, 3, 5, 8, 12, 20}
@@ -279,25 +365,34 @@ func DurationSweep(meanDurations []float64, lambda float64) (*Sweep, error) {
 		XLabel: "mean-duration(min)",
 		X:      meanDurations,
 	}
-	for _, scheme := range []qos.Scheme{qos.SchemeOAQ, qos.SchemeBAQ} {
-		for _, y := range []qos.Level{qos.LevelSequentialDual, qos.LevelSimultaneousDual} {
-			values := make([]float64, 0, len(meanDurations))
-			for _, mean := range meanDurations {
-				model, err := qos.NewModel(qos.ReferenceGeometry(), tau, 1/mean, nu)
-				if err != nil {
-					return nil, err
-				}
-				v, err := model.Measure(scheme, dist, y)
-				if err != nil {
-					return nil, err
-				}
-				values = append(values, v)
-			}
-			sweep.Series = append(sweep.Series, Series{
-				Name:   fmt.Sprintf("%v y>=%d", scheme, int(y)),
-				Values: values,
-			})
+	cells := schemeLevelCells()
+	cols, err := parallel.MapSlice(Workers, len(meanDurations), func(i int) ([]float64, error) {
+		model, err := qos.NewModel(qos.ReferenceGeometry(), tau, 1/meanDurations[i], nu)
+		if err != nil {
+			return nil, err
 		}
+		col := make([]float64, len(cells))
+		for j, c := range cells {
+			v, err := model.Measure(c.scheme, dist, c.y)
+			if err != nil {
+				return nil, err
+			}
+			col[j] = v
+		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range cells {
+		values := make([]float64, len(meanDurations))
+		for i := range cols {
+			values[i] = cols[i][j]
+		}
+		sweep.Series = append(sweep.Series, Series{
+			Name:   fmt.Sprintf("%v y>=%d", c.scheme, int(c.y)),
+			Values: values,
+		})
 	}
 	return sweep, nil
 }

@@ -22,6 +22,7 @@ import (
 	"satqos/internal/constellation"
 	"satqos/internal/geoloc"
 	"satqos/internal/orbit"
+	"satqos/internal/parallel"
 	"satqos/internal/qos"
 	"satqos/internal/signal"
 	"satqos/internal/stats"
@@ -52,6 +53,11 @@ type Config struct {
 	InitialGuessKm float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the concurrency of the episode batch. Zero or
+	// negative selects parallel.DefaultWorkers(); 1 runs sequentially.
+	// The workload is generated on substream 0 and episode i draws from
+	// substream i+1, so the report is bit-identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns a mission over the reference constellation with
@@ -152,12 +158,11 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(cfg.Seed, 0)
 	wl, err := signal.NewWorkload(cfg.SignalRatePerMin, cfg.SignalDuration, cfg.Position)
 	if err != nil {
 		return nil, err
 	}
-	signals, err := wl.Generate(horizonMin, rng)
+	signals, err := wl.Generate(horizonMin, stats.NewRNG(cfg.Seed, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -167,11 +172,23 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 		MeanRealizedErrorKm:  make(map[qos.Level]float64),
 		MeanEstimatedErrorKm: make(map[qos.Level]float64),
 	}
+	// Each episode owns the substream (Seed, i+1) — substream 0 belongs
+	// to the workload — so episodes are independent and the batch can fan
+	// out across workers without changing any outcome. The constellation
+	// is only read (coverage queries), never mutated, during the batch.
+	m := &runner{cfg: cfg, cons: cons}
+	outcomes, err := parallel.MapSlice(cfg.Workers, len(signals), func(i int) (EpisodeOutcome, error) {
+		return m.episode(signals[i], stats.NewRNG(cfg.Seed, uint64(i)+1)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregation stays sequential in episode order, so the float sums
+	// fold identically at any worker count.
 	counts := make(map[qos.Level]int)
 	detected := 0
-	m := &runner{cfg: cfg, cons: cons, rng: rng}
-	for _, sig := range signals {
-		out := m.episode(sig)
+	for _, out := range outcomes {
 		rep.Outcomes = append(rep.Outcomes, out)
 		rep.PMF[out.Level] += 1 / float64(len(signals))
 		if out.Detected {
@@ -196,7 +213,6 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 type runner struct {
 	cfg  Config
 	cons *constellation.Constellation
-	rng  *stats.RNG
 }
 
 // satKey identifies a satellite across queries.
@@ -223,8 +239,8 @@ func (r *runner) orbitOf(k satKey) orbit.CircularOrbit {
 }
 
 // episode runs one signal through detection, opportunity scheduling, and
-// estimation.
-func (r *runner) episode(sig signal.Signal) EpisodeOutcome {
+// estimation, drawing all of its randomness from the given substream.
+func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	out := EpisodeOutcome{
 		Signal:           sig,
 		Level:            qos.LevelMiss,
@@ -250,7 +266,7 @@ func (r *runner) episode(sig signal.Signal) EpisodeOutcome {
 	deadline := t0 + r.cfg.TauMin
 
 	sensor := geoloc.Sensor{CarrierHz: r.cfg.CarrierHz, NoiseHz: r.cfg.NoiseHz}
-	guess := r.perturb(sig.Position)
+	guess := r.perturb(sig.Position, rng)
 
 	// Initial observation window: while the first satellite covers, the
 	// signal lives, and the deadline allows.
@@ -258,7 +274,7 @@ func (r *runner) episode(sig signal.Signal) EpisodeOutcome {
 	if obsEnd <= t0 {
 		obsEnd = t0 + coverScanStep
 	}
-	meas := r.observe(sensor, initial, sig.Position, t0, obsEnd)
+	meas := r.observe(sensor, initial, sig.Position, t0, obsEnd, rng)
 	est := geoloc.Estimator{}
 	first, err := est.Solve(meas, guess, r.cfg.CarrierHz, nil)
 	if err != nil {
@@ -295,7 +311,7 @@ func (r *runner) episode(sig signal.Signal) EpisodeOutcome {
 			continue
 		}
 		obsEnd := math.Min(math.Min(sig.End(), deadline), t+2)
-		meas2 := r.observe(sensor, fresh, sig.Position, t, obsEnd)
+		meas2 := r.observe(sensor, fresh, sig.Position, t, obsEnd, rng)
 		refined, err := est.Solve(meas2, first.Position, first.FreqHz, &first)
 		if err != nil {
 			break
@@ -313,7 +329,7 @@ func (r *runner) episode(sig signal.Signal) EpisodeOutcome {
 }
 
 // observe collects measurements from each satellite over [start, end].
-func (r *runner) observe(sensor geoloc.Sensor, sats []satKey, target orbit.LatLon, start, end float64) []geoloc.Measurement {
+func (r *runner) observe(sensor geoloc.Sensor, sats []satKey, target orbit.LatLon, start, end float64, rng *stats.RNG) []geoloc.Measurement {
 	times, err := geoloc.PassTimes(start, end, r.cfg.SamplesPerPass)
 	if err != nil {
 		// end > start is guaranteed by the callers; a degenerate window
@@ -322,7 +338,7 @@ func (r *runner) observe(sensor geoloc.Sensor, sats []satKey, target orbit.LatLo
 	}
 	var all []geoloc.Measurement
 	for _, k := range sats {
-		m, err := sensor.Observe(r.orbitOf(k), target, times, r.rng)
+		m, err := sensor.Observe(r.orbitOf(k), target, times, rng)
 		if err != nil {
 			continue
 		}
@@ -333,12 +349,12 @@ func (r *runner) observe(sensor geoloc.Sensor, sats []satKey, target orbit.LatLo
 
 // perturb displaces the truth by a uniform offset within the coarse
 // detection cell, producing the estimator's starting point.
-func (r *runner) perturb(p orbit.LatLon) orbit.LatLon {
+func (r *runner) perturb(p orbit.LatLon, rng *stats.RNG) orbit.LatLon {
 	if r.cfg.InitialGuessKm == 0 {
 		return p
 	}
-	angle := 2 * math.Pi * r.rng.Float64()
-	radius := r.cfg.InitialGuessKm * math.Sqrt(r.rng.Float64())
+	angle := 2 * math.Pi * rng.Float64()
+	radius := r.cfg.InitialGuessKm * math.Sqrt(rng.Float64())
 	dLat := radius * math.Cos(angle) / orbit.EarthRadiusKm
 	dLon := radius * math.Sin(angle) / (orbit.EarthRadiusKm * math.Cos(p.Lat))
 	return orbit.LatLon{Lat: p.Lat + dLat, Lon: p.Lon + dLon}

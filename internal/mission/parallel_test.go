@@ -1,0 +1,31 @@
+package mission
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The mission batch must be bit-identical at any worker count: the
+// workload comes from substream 0 and episode i from substream i+1, so
+// no outcome depends on scheduling.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	ref, err := Run(cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Episodes == 0 {
+		t.Fatal("no signals generated; workload too small to exercise the batch")
+	}
+	for _, workers := range []int{0, 2, 4} {
+		cfg.Workers = workers
+		rep, err := Run(cfg, 600)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, rep) {
+			t.Errorf("workers=%d: report differs from sequential run", workers)
+		}
+	}
+}

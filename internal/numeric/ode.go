@@ -6,27 +6,53 @@ import "fmt"
 // into dydt. dydt and y always have the same length and do not alias.
 type Derivative func(t float64, y, dydt []float64)
 
-// RK4 integrates y' = f(t, y) from t0 to t1 with the classical
-// fixed-step fourth-order Runge–Kutta method using steps of size at most
-// h. The final step is shortened to land exactly on t1. The state y is
-// updated in place and also returned.
-//
-// It is used for transient CTMC solutions where uniformization is not
-// applicable (time-inhomogeneous rates) and for validating the
-// uniformization solver in package san.
-func RK4(f Derivative, y []float64, t0, t1, h float64) ([]float64, error) {
+// RK4Stepper is the reusable form of the classical fourth-order
+// Runge–Kutta integrator: the stage buffers k1..k4 and the trial state
+// are allocated once and reused across Integrate calls, so repeated
+// transient solves (a capacity sweep, the grid intervals of RK4Path) do
+// not churn the allocator. A stepper is not safe for concurrent use;
+// give each goroutine its own.
+type RK4Stepper struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewRK4Stepper returns a stepper with buffers sized for states of
+// dimension n. Integrate resizes on demand, so n is a capacity hint.
+func NewRK4Stepper(n int) *RK4Stepper {
+	st := &RK4Stepper{}
+	st.resize(n)
+	return st
+}
+
+func (st *RK4Stepper) resize(n int) {
+	if cap(st.k1) < n {
+		st.k1 = make([]float64, n)
+		st.k2 = make([]float64, n)
+		st.k3 = make([]float64, n)
+		st.k4 = make([]float64, n)
+		st.tmp = make([]float64, n)
+		return
+	}
+	st.k1 = st.k1[:n]
+	st.k2 = st.k2[:n]
+	st.k3 = st.k3[:n]
+	st.k4 = st.k4[:n]
+	st.tmp = st.tmp[:n]
+}
+
+// Integrate advances y' = f(t, y) from t0 to t1 with fixed steps of size
+// at most h (the final step is shortened to land exactly on t1),
+// updating y in place and returning it. It is RK4 with the scratch
+// buffers hoisted into the stepper.
+func (st *RK4Stepper) Integrate(f Derivative, y []float64, t0, t1, h float64) ([]float64, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("numeric: RK4 step %g must be positive", h)
 	}
 	if t1 < t0 {
 		return nil, fmt.Errorf("numeric: RK4 interval [%g, %g] is reversed", t0, t1)
 	}
-	n := len(y)
-	k1 := make([]float64, n)
-	k2 := make([]float64, n)
-	k3 := make([]float64, n)
-	k4 := make([]float64, n)
-	tmp := make([]float64, n)
+	st.resize(len(y))
+	k1, k2, k3, k4, tmp := st.k1, st.k2, st.k3, st.k4, st.tmp
 
 	t := t0
 	for t < t1 {
@@ -55,6 +81,20 @@ func RK4(f Derivative, y []float64, t0, t1, h float64) ([]float64, error) {
 	return y, nil
 }
 
+// RK4 integrates y' = f(t, y) from t0 to t1 with the classical
+// fixed-step fourth-order Runge–Kutta method using steps of size at most
+// h. The final step is shortened to land exactly on t1. The state y is
+// updated in place and also returned.
+//
+// It is used for transient CTMC solutions where uniformization is not
+// applicable (time-inhomogeneous rates) and for validating the
+// uniformization solver in package san. Callers with repeated solves
+// should hold an RK4Stepper instead, which reuses the stage buffers.
+func RK4(f Derivative, y []float64, t0, t1, h float64) ([]float64, error) {
+	var st RK4Stepper
+	return st.Integrate(f, y, t0, t1, h)
+}
+
 // RK4Path integrates like RK4 but records the state at each of the
 // points+1 uniformly spaced grid times over [t0, t1] (inclusive of both
 // endpoints), using internal steps of size at most h between grid points.
@@ -72,10 +112,11 @@ func RK4Path(f Derivative, y []float64, t0, t1, h float64, points int) ([][]floa
 	}
 	snap()
 	dt := (t1 - t0) / float64(points)
+	st := NewRK4Stepper(len(y))
 	for i := 0; i < points; i++ {
 		a := t0 + float64(i)*dt
 		b := t0 + float64(i+1)*dt
-		if _, err := RK4(f, y, a, b, h); err != nil {
+		if _, err := st.Integrate(f, y, a, b, h); err != nil {
 			return nil, err
 		}
 		snap()

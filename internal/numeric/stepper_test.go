@@ -1,0 +1,51 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// The stepper must reproduce RK4 exactly (same arithmetic, hoisted
+// buffers) and survive reuse across solves of different dimensions.
+func TestRK4StepperMatchesRK4(t *testing.T) {
+	decay := func(t float64, y, dydt []float64) {
+		for i := range y {
+			dydt[i] = -float64(i+1) * y[i]
+		}
+	}
+	ref := []float64{1, 2, 3}
+	if _, err := RK4(decay, ref, 0, 1.5, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewRK4Stepper(3)
+	// Warm the buffers on an unrelated solve of another dimension first.
+	warm := []float64{1}
+	if _, err := st.Integrate(decay, warm, 0, 1, 1e-2); err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{1, 2, 3}
+	if _, err := st.Integrate(decay, got, 0, 1.5, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Errorf("component %d: stepper %v vs RK4 %v", i, got[i], ref[i])
+		}
+		want := []float64{1, 2, 3}[i] * math.Exp(-float64(i+1)*1.5)
+		if math.Abs(got[i]-want) > 1e-6 {
+			t.Errorf("component %d: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRK4StepperRejectsBadArguments(t *testing.T) {
+	st := NewRK4Stepper(1)
+	f := func(t float64, y, dydt []float64) { dydt[0] = 0 }
+	if _, err := st.Integrate(f, []float64{1}, 0, 1, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := st.Integrate(f, []float64{1}, 1, 0, 0.1); err == nil {
+		t.Error("reversed interval accepted")
+	}
+}

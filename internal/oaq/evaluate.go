@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"satqos/internal/parallel"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -47,8 +48,76 @@ func (e *Evaluation) CI95(y qos.Level) float64 {
 	return 1.96 * math.Sqrt(p*(1-p)/float64(e.Episodes))
 }
 
+// tally is the mergeable per-shard accumulator of episode outcomes. All
+// integer fields merge exactly in any order; latencySum is a float sum,
+// which the sharded engine always folds in shard-index order so the
+// result is independent of the worker count.
+type tally struct {
+	levels       [qos.NumLevels]int
+	delivered    int
+	detected     int
+	chainSum     int
+	msgSum       int
+	latencySum   float64
+	terminations [TermChainCap + 1]int
+}
+
+func (t *tally) add(res *EpisodeResult) {
+	t.levels[res.Level]++
+	if res.Detected {
+		t.detected++
+	}
+	if res.Delivered {
+		t.delivered++
+		t.chainSum += res.ChainLength
+		t.latencySum += res.DeliveryLatency
+	}
+	t.msgSum += res.MessagesSent
+	t.terminations[res.Termination]++
+}
+
+func (t *tally) merge(o *tally) {
+	for i := range t.levels {
+		t.levels[i] += o.levels[i]
+	}
+	t.delivered += o.delivered
+	t.detected += o.detected
+	t.chainSum += o.chainSum
+	t.msgSum += o.msgSum
+	t.latencySum += o.latencySum
+	for i := range t.terminations {
+		t.terminations[i] += o.terminations[i]
+	}
+}
+
+// evaluation converts the tally into the public aggregate.
+func (t *tally) evaluation(episodes int) *Evaluation {
+	ev := &Evaluation{
+		Episodes:     episodes,
+		Terminations: make(map[Termination]int),
+	}
+	for l, n := range t.levels {
+		ev.PMF[l] = float64(n) / float64(episodes)
+	}
+	for term, n := range t.terminations {
+		if n > 0 {
+			ev.Terminations[Termination(term)] = n
+		}
+	}
+	ev.DeliveredFraction = float64(t.delivered) / float64(episodes)
+	ev.DetectedFraction = float64(t.detected) / float64(episodes)
+	ev.MeanMessages = float64(t.msgSum) / float64(episodes)
+	if t.delivered > 0 {
+		ev.MeanChainLength = float64(t.chainSum) / float64(t.delivered)
+		ev.MeanDeliveryLatency = t.latencySum / float64(t.delivered)
+	}
+	return ev
+}
+
 // Evaluate runs the protocol for the given number of episodes and
-// aggregates the outcomes.
+// aggregates the outcomes, drawing every episode sequentially from the
+// caller's RNG. Use EvaluateParallel for the sharded engine, which
+// parallelizes without changing the result.
 func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 	if episodes <= 0 {
 		return nil, fmt.Errorf("oaq: episode count %d must be positive", episodes)
@@ -59,44 +128,55 @@ func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("oaq: RNG is required")
 	}
-	ev := &Evaluation{
-		Episodes:     episodes,
-		Terminations: make(map[Termination]int),
+	r, err := newEpisodeRunner(p, rng)
+	if err != nil {
+		return nil, err
 	}
-	var (
-		levelCounts [qos.NumLevels]int
-		delivered   int
-		detected    int
-		chainSum    int
-		msgSum      int
-		latencySum  float64
-	)
+	var t tally
 	for i := 0; i < episodes; i++ {
-		res, err := RunEpisode(p, rng)
-		if err != nil {
-			return nil, fmt.Errorf("oaq: episode %d: %w", i, err)
-		}
-		levelCounts[res.Level]++
-		if res.Detected {
-			detected++
-		}
-		if res.Delivered {
-			delivered++
-			chainSum += res.ChainLength
-			latencySum += res.DeliveryLatency
-		}
-		msgSum += res.MessagesSent
-		ev.Terminations[res.Termination]++
+		res := r.run()
+		t.add(&res)
 	}
-	for l, n := range levelCounts {
-		ev.PMF[l] = float64(n) / float64(episodes)
+	return t.evaluation(episodes), nil
+}
+
+// EvaluateParallel runs the protocol on the sharded Monte-Carlo engine:
+// the episode budget is split into fixed-size shards
+// (parallel.DefaultShardSize) independent of the worker count, shard i
+// draws all of its randomness from the substream stats.NewRNG(seed, i),
+// and the per-shard tallies merge in shard order. The result is
+// bit-identical for any workers value; workers <= 0 selects
+// parallel.DefaultWorkers() and workers == 1 runs fully sequentially on
+// the calling goroutine.
+func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evaluation, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("oaq: episode count %d must be positive", episodes)
 	}
-	ev.DeliveredFraction = float64(delivered) / float64(episodes)
-	ev.DetectedFraction = float64(detected) / float64(episodes)
-	ev.MeanMessages = float64(msgSum) / float64(episodes)
-	if delivered > 0 {
-		ev.MeanChainLength = float64(chainSum) / float64(delivered)
-		ev.MeanDeliveryLatency = latencySum / float64(delivered)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	return ev, nil
+	t, err := parallel.MonteCarlo(workers, episodes, 0,
+		func(s parallel.Shard) (*tally, error) {
+			r, err := newEpisodeRunner(p, stats.NewRNG(seed, uint64(s.Index)))
+			if err != nil {
+				return nil, err
+			}
+			t := &tally{}
+			for i := 0; i < s.Count; i++ {
+				res := r.run()
+				t.add(&res)
+			}
+			return t, nil
+		},
+		func(acc, part *tally) *tally {
+			if acc == nil {
+				return part
+			}
+			acc.merge(part)
+			return acc
+		})
+	if err != nil {
+		return nil, err
+	}
+	return t.evaluation(episodes), nil
 }

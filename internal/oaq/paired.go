@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"satqos/internal/qos"
+	"satqos/internal/parallel"
 	"satqos/internal/stats"
 )
 
@@ -25,6 +25,25 @@ type PairedComparison struct {
 	WinFraction, LossFraction float64
 }
 
+// pairedTally is the mergeable per-shard accumulator of the paired
+// engine. The level-difference sums are sums of small integers, exact in
+// float64, so merging shards in any fixed order reproduces the
+// sequential fold bit-for-bit.
+type pairedTally struct {
+	a, b            tally
+	diffSum, diffSq float64
+	wins, losses    int
+}
+
+func (t *pairedTally) merge(o *pairedTally) {
+	t.a.merge(&o.a)
+	t.b.merge(&o.b)
+	t.diffSum += o.diffSum
+	t.diffSq += o.diffSq
+	t.wins += o.wins
+	t.losses += o.losses
+}
+
 // EvaluatePaired runs two configurations against the *same* random
 // workload (common random numbers): each episode draws its signal and
 // computation randomness from a per-episode substream shared by both
@@ -35,6 +54,16 @@ type PairedComparison struct {
 // (geometry, capacity, signal-duration distribution); otherwise "the
 // same signal" is not well defined and an error is returned.
 func EvaluatePaired(a, b Params, episodes int, seed uint64) (*PairedComparison, error) {
+	return EvaluatePairedParallel(a, b, episodes, seed, 1)
+}
+
+// EvaluatePairedParallel is the sharded form of EvaluatePaired. The
+// pairing substreams are indexed by the global episode ordinal — episode
+// i replays stats.NewRNG(seed, i) for both configurations regardless of
+// which shard hosts it — and shards merge in index order, so the result
+// is bit-identical for any workers value (including the sequential
+// workers == 1, which is what EvaluatePaired runs).
+func EvaluatePairedParallel(a, b Params, episodes int, seed uint64, workers int) (*PairedComparison, error) {
 	if episodes <= 0 {
 		return nil, fmt.Errorf("oaq: episode count %d must be positive", episodes)
 	}
@@ -51,63 +80,66 @@ func EvaluatePaired(a, b Params, episodes int, seed uint64) (*PairedComparison, 
 		return nil, fmt.Errorf("oaq: paired configs must share the signal-duration distribution")
 	}
 
-	evA := &Evaluation{Episodes: episodes, Terminations: make(map[Termination]int)}
-	evB := &Evaluation{Episodes: episodes, Terminations: make(map[Termination]int)}
-	var countsA, countsB [qos.NumLevels]int
-	var diffSum, diffSq float64
-	var wins, losses int
-	deliveredA, deliveredB := 0, 0
-	for i := 0; i < episodes; i++ {
-		// One substream per episode, replayed for both configurations:
-		// the signal placement and duration draws coincide, and the
-		// residual divergence (different numbers of computation samples)
-		// only affects later draws within the episode.
-		stream := uint64(i)
-		resA, err := RunEpisode(a, stats.NewRNG(seed, stream))
-		if err != nil {
-			return nil, fmt.Errorf("oaq: episode %d (A): %w", i, err)
-		}
-		resB, err := RunEpisode(b, stats.NewRNG(seed, stream))
-		if err != nil {
-			return nil, fmt.Errorf("oaq: episode %d (B): %w", i, err)
-		}
-		countsA[resA.Level]++
-		countsB[resB.Level]++
-		evA.Terminations[resA.Termination]++
-		evB.Terminations[resB.Termination]++
-		if resA.Delivered {
-			deliveredA++
-		}
-		if resB.Delivered {
-			deliveredB++
-		}
-		d := float64(resA.Level) - float64(resB.Level)
-		diffSum += d
-		diffSq += d * d
-		if resA.Level > resB.Level {
-			wins++
-		} else if resA.Level < resB.Level {
-			losses++
-		}
+	pt, err := parallel.MonteCarlo(workers, episodes, 0,
+		func(s parallel.Shard) (*pairedTally, error) {
+			rngA := stats.NewRNG(seed, uint64(s.Start))
+			rngB := stats.NewRNG(seed, uint64(s.Start))
+			ra, err := newEpisodeRunner(a, rngA)
+			if err != nil {
+				return nil, fmt.Errorf("oaq: config A: %w", err)
+			}
+			rb, err := newEpisodeRunner(b, rngB)
+			if err != nil {
+				return nil, fmt.Errorf("oaq: config B: %w", err)
+			}
+			t := &pairedTally{}
+			for i := 0; i < s.Count; i++ {
+				// One substream per episode, replayed for both
+				// configurations: the signal placement and duration draws
+				// coincide, and the residual divergence (different numbers
+				// of computation samples) only affects later draws within
+				// the episode.
+				stream := uint64(s.Start + i)
+				rngA.Reseed(seed, stream)
+				resA := ra.run()
+				rngB.Reseed(seed, stream)
+				resB := rb.run()
+				t.a.add(&resA)
+				t.b.add(&resB)
+				d := float64(resA.Level) - float64(resB.Level)
+				t.diffSum += d
+				t.diffSq += d * d
+				if resA.Level > resB.Level {
+					t.wins++
+				} else if resA.Level < resB.Level {
+					t.losses++
+				}
+			}
+			return t, nil
+		},
+		func(acc, part *pairedTally) *pairedTally {
+			if acc == nil {
+				return part
+			}
+			acc.merge(part)
+			return acc
+		})
+	if err != nil {
+		return nil, err
 	}
-	for l := range countsA {
-		evA.PMF[l] = float64(countsA[l]) / float64(episodes)
-		evB.PMF[l] = float64(countsB[l]) / float64(episodes)
-	}
-	evA.DeliveredFraction = float64(deliveredA) / float64(episodes)
-	evB.DeliveredFraction = float64(deliveredB) / float64(episodes)
-	mean := diffSum / float64(episodes)
-	variance := diffSq/float64(episodes) - mean*mean
+
+	mean := pt.diffSum / float64(episodes)
+	variance := pt.diffSq/float64(episodes) - mean*mean
 	if variance < 0 {
 		variance = 0
 	}
 	return &PairedComparison{
 		Episodes:        episodes,
-		A:               evA,
-		B:               evB,
+		A:               pt.a.evaluation(episodes),
+		B:               pt.b.evaluation(episodes),
 		MeanLevelDiff:   mean,
 		MeanLevelDiffCI: 1.96 * math.Sqrt(variance/float64(episodes)),
-		WinFraction:     float64(wins) / float64(episodes),
-		LossFraction:    float64(losses) / float64(episodes),
+		WinFraction:     float64(pt.wins) / float64(episodes),
+		LossFraction:    float64(pt.losses) / float64(episodes),
 	}, nil
 }

@@ -85,7 +85,18 @@ type episode struct {
 	// detects the signal is always healthy (the paper's failure model
 	// concerns the peers joining the coordination).
 	failRollArmed bool
+	// pool recycles satellite structs across the episodes of one runner;
+	// poolUsed is how many are live in the current episode.
+	pool     []*satellite
+	poolUsed int
+	// covBuf is the reusable backing array of coveringAt.
+	covBuf []int
 }
+
+// tracing reports whether a trace sink is configured; the hot path
+// checks it before calling trace so that episodes without a sink never
+// box the variadic arguments.
+func (e *episode) tracing() bool { return e.p.Trace != nil }
 
 // satellite is one protocol participant.
 type satellite struct {
@@ -106,17 +117,19 @@ type satellite struct {
 func (s *satellite) passStart() float64 { return float64(s.id) * s.ep.l1 }
 
 // coveringAt returns the pass indices whose footprints cover the target
-// at time t (at most two in the overlapping regime).
+// at time t (at most two in the overlapping regime). The returned slice
+// aliases a per-episode buffer that the next call overwrites.
 func (e *episode) coveringAt(t float64) []int {
 	lo := int(math.Ceil((t - e.tc) / e.l1))
 	hi := int(math.Floor(t / e.l1))
-	var out []int
+	out := e.covBuf[:0]
 	for j := lo; j <= hi; j++ {
 		start := float64(j) * e.l1
 		if start <= t && t < start+e.tc {
 			out = append(out, j)
 		}
 	}
+	e.covBuf = out
 	return out
 }
 
@@ -124,12 +137,21 @@ func (e *episode) signalActiveAt(t float64) bool {
 	return t >= e.sigStart && t < e.sigEnd
 }
 
-// sat lazily instantiates and registers a satellite agent.
+// sat lazily instantiates and registers a satellite agent, drawing the
+// struct from the runner's pool when one is free.
 func (e *episode) sat(id int) *satellite {
 	if s, ok := e.satellites[id]; ok {
 		return s
 	}
-	s := &satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+	var s *satellite
+	if e.poolUsed < len(e.pool) {
+		s = e.pool[e.poolUsed]
+		*s = satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+	} else {
+		s = &satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+		e.pool = append(e.pool, s)
+	}
+	e.poolUsed++
 	e.satellites[id] = s
 	if err := e.net.Register(s.node, s.onMessage); err != nil {
 		// Registration cannot fail for a non-nil method handler.
@@ -150,10 +172,14 @@ func (e *episode) recordAlert(msg crosslink.Message) {
 		return
 	}
 	if msg.SentAt > e.deadline+1e-12 {
-		e.trace(e.sim.Now(), -1, TraceAlertReceived, "LATE alert (level %v) discarded", pay.level)
+		if e.tracing() {
+			e.trace(e.sim.Now(), -1, TraceAlertReceived, "LATE alert (level %v) discarded", pay.level)
+		}
 		return // late alert: does not count toward the QoS level
 	}
-	e.trace(e.sim.Now(), -1, TraceAlertReceived, "level %v accepted (sent %.3f min after detection)", pay.level, msg.SentAt-e.t0)
+	if e.tracing() {
+		e.trace(e.sim.Now(), -1, TraceAlertReceived, "level %v accepted (sent %.3f min after detection)", pay.level, msg.SentAt-e.t0)
+	}
 	e.deliveredByTau = true
 	if pay.level > e.bestLevel || (pay.level == e.bestLevel && pay.passes > e.bestPasses) {
 		e.bestLevel = pay.level
@@ -175,7 +201,9 @@ func (s *satellite) sendAlert(level qos.Level, passes int) {
 		return
 	}
 	s.sentAlert = true
-	s.ep.trace(s.ep.sim.Now(), s.id, TraceAlertSent, "level %v from %d fused passes", level, passes)
+	if s.ep.tracing() {
+		s.ep.trace(s.ep.sim.Now(), s.id, TraceAlertSent, "level %v from %d fused passes", level, passes)
+	}
 	_ = s.ep.ground.Send(s.node, crosslink.GroundStation, kindAlert, alertPayload{
 		level:  level,
 		passes: passes,
@@ -189,7 +217,9 @@ func (s *satellite) sendDone() {
 	if !s.ep.p.BackwardMessaging || !s.hasRequest {
 		return
 	}
-	s.ep.trace(s.ep.sim.Now(), s.id, TraceDoneSent, "to S%d", int(s.requestFrom))
+	if s.ep.tracing() {
+		s.ep.trace(s.ep.sim.Now(), s.id, TraceDoneSent, "to S%d", int(s.requestFrom))
+	}
 	_ = s.ep.net.Send(s.node, s.requestFrom, kindDone, nil)
 }
 
@@ -205,7 +235,9 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		s.requestFrom = msg.From
 		s.ordinal = pay.ordinal
 		s.inherited = alertPayload{level: pay.inherited, passes: pay.passes, t0: pay.t0}
-		s.ep.trace(now, s.id, TraceRequestReceived, "ordinal n=%d, inherited level %v", pay.ordinal, pay.inherited)
+		if s.ep.tracing() {
+			s.ep.trace(now, s.id, TraceRequestReceived, "ordinal n=%d, inherited level %v", pay.ordinal, pay.inherited)
+		}
 		s.scheduleAttempt(now)
 		if !s.ep.p.BackwardMessaging {
 			// Terminal-responsibility guard: whoever holds the freshest
@@ -218,7 +250,9 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		}
 	case kindDone:
 		s.doneFrom = true
-		s.ep.trace(now, s.id, TraceDoneReceived, "from S%d", int(msg.From))
+		if s.ep.tracing() {
+			s.ep.trace(now, s.id, TraceDoneReceived, "from S%d", int(msg.From))
+		}
 		// Propagate downstream (Figure 3(c)-(d)).
 		s.sendDone()
 	}
@@ -233,7 +267,9 @@ func (s *satellite) scheduleAttempt(now float64) {
 		if s.ep.net.FailSilent(s.node) {
 			return
 		}
-		s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
+		if s.ep.tracing() {
+			s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
+		}
 		if s.ep.signalActiveAt(t) {
 			h := s.ep.p.ComputeTime.Sample(s.ep.rng)
 			s.ep.sim.Schedule(h, "iterative-computation", func(done float64) {
@@ -242,13 +278,17 @@ func (s *satellite) scheduleAttempt(now float64) {
 				}
 				s.passes = s.inherited.passes + 1
 				s.level = qos.LevelSequentialDual
-				s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
+				if s.ep.tracing() {
+					s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
+				}
 				s.evaluate(done)
 			})
 			return
 		}
 		// TC-3: the signal stopped before this footprint arrived.
-		s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
+		if s.ep.tracing() {
+			s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
+		}
 		if !s.ep.p.BackwardMessaging {
 			s.ep.noteTermination(TermSignalLost)
 			s.sendAlert(s.inherited.level, s.inherited.passes)
@@ -289,13 +329,17 @@ func (s *satellite) evaluate(now float64) {
 	next := e.sat(s.id + 1)
 	if e.p.MembershipAware {
 		for hop := 1; hop <= 4 && e.net.FailSilent(next.node); hop++ {
-			e.trace(now, s.id, TraceRequestSent,
-				"membership view excludes S%d; skipping", next.id)
+			if e.tracing() {
+				e.trace(now, s.id, TraceRequestSent,
+					"membership view excludes S%d; skipping", next.id)
+			}
 			next = e.sat(s.id + 1 + hop)
 		}
 	}
 	s.forwarded = true
-	e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
+	if e.tracing() {
+		e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
+	}
 	_ = e.net.Send(s.node, next.node, kindRequest, requestPayload{
 		t0:        e.t0,
 		ordinal:   s.ordinal + 1,
@@ -314,7 +358,9 @@ func (s *satellite) evaluate(now float64) {
 			if s.doneFrom || s.sentAlert || e.net.FailSilent(s.node) {
 				return
 			}
-			e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
+			if e.tracing() {
+				e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
+			}
 			e.noteTermination(TermTimeout)
 			s.sendAlert(s.level, s.passes)
 			s.sendDone()
@@ -322,59 +368,101 @@ func (s *satellite) evaluate(now float64) {
 	}
 }
 
-// RunEpisode simulates one signal episode under the given parameters and
-// returns its outcome.
-func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
+// episodeRunner amortizes the fixed cost of episode simulation — the
+// event queue, the two crosslink networks, the satellite agents — across
+// many episodes drawn from one RNG. It is the unit of work of the
+// sharded Monte-Carlo engine: one runner per shard, never shared between
+// goroutines.
+type episodeRunner struct {
+	overlap bool
+	ep      episode
+	// groundHandler is the ground station's receive closure, created
+	// once and re-registered after each Reset.
+	groundHandler crosslink.Handler
+}
+
+// newEpisodeRunner validates the parameters and builds the reusable
+// simulation state. The runner draws every random variate from rng; to
+// replay a specific substream per episode, Reseed the rng between run
+// calls (the paired evaluator does).
+func newEpisodeRunner(p Params, rng *stats.RNG) (*episodeRunner, error) {
 	if err := p.Validate(); err != nil {
-		return EpisodeResult{}, err
+		return nil, err
 	}
 	if rng == nil {
-		return EpisodeResult{}, fmt.Errorf("oaq: RNG is required")
+		return nil, fmt.Errorf("oaq: RNG is required")
 	}
 	tr, err := p.Geom.Tr(p.K)
 	if err != nil {
-		return EpisodeResult{}, err
+		return nil, err
 	}
 	overlap, err := p.Geom.Overlapping(p.K)
 	if err != nil {
-		return EpisodeResult{}, err
+		return nil, err
 	}
 
 	sim := &des.Simulation{}
+	// The protocol never cancels events and never retains schedule
+	// handles, so fired-event recycling is safe here.
+	sim.EnableEventReuse()
 	net, err := crosslink.NewNetwork(sim, crosslink.Config{
 		MaxDelayMin: p.DeltaMin,
 		LossProb:    p.MessageLossProb,
 	}, rng)
 	if err != nil {
-		return EpisodeResult{}, err
+		return nil, err
 	}
 	ground, err := crosslink.NewNetwork(sim, crosslink.Config{MaxDelayMin: p.DeltaMin}, rng)
 	if err != nil {
-		return EpisodeResult{}, err
+		return nil, err
 	}
-	e := &episode{
-		p:           p,
-		sim:         sim,
-		net:         net,
-		ground:      ground,
-		rng:         rng,
-		l1:          tr,
-		tc:          p.Geom.TcMin,
-		bestLevel:   qos.LevelMiss,
-		termination: TermNone,
-		satellites:  make(map[int]*satellite),
+	r := &episodeRunner{overlap: overlap}
+	r.ep = episode{
+		p:          p,
+		sim:        sim,
+		net:        net,
+		ground:     ground,
+		rng:        rng,
+		l1:         tr,
+		tc:         p.Geom.TcMin,
+		satellites: make(map[int]*satellite),
 	}
-	if err := ground.Register(crosslink.GroundStation, func(now float64, msg crosslink.Message) {
+	e := &r.ep
+	r.groundHandler = func(now float64, msg crosslink.Message) {
 		e.recordAlert(msg)
-	}); err != nil {
-		return EpisodeResult{}, err
+	}
+	return r, nil
+}
+
+// run simulates one signal episode, reusing the runner's simulation
+// state. Consecutive runs consume the runner's RNG exactly as repeated
+// RunEpisode calls on the same RNG would, so the two are
+// outcome-for-outcome identical.
+func (r *episodeRunner) run() EpisodeResult {
+	e := &r.ep
+	e.sim.Reset()
+	e.net.Reset()
+	e.ground.Reset()
+	clear(e.satellites)
+	e.poolUsed = 0
+	e.t0 = 0
+	e.deadline = 0
+	e.bestLevel = qos.LevelMiss
+	e.bestPasses = 0
+	e.bestSentAt = 0
+	e.deliveredByTau = false
+	e.termination = TermNone
+	e.terminationSeen = false
+	e.failRollArmed = false
+	if err := e.ground.Register(crosslink.GroundStation, r.groundHandler); err != nil {
+		panic(fmt.Sprintf("oaq: register ground station: %v", err))
 	}
 
 	// Signal placement: uniform phase within one footprint period (the
 	// PASTA argument of §4.2.2), offset well inside the pass schedule so
 	// chain indices stay positive.
-	e.sigStart = 64*e.l1 + rng.Float64()*e.l1
-	e.sigEnd = e.sigStart + p.SignalDuration.Sample(rng)
+	e.sigStart = 64*e.l1 + e.rng.Float64()*e.l1
+	e.sigEnd = e.sigStart + e.p.SignalDuration.Sample(e.rng)
 
 	// Detection.
 	covering := e.coveringAt(e.sigStart)
@@ -391,22 +479,22 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 				DetectionDelay:  math.NaN(),
 				DeliveryLatency: math.NaN(),
 				Termination:     TermNone,
-			}, nil
+			}
 		}
 		e.t0 = nextPass
 		detectionDelay = e.t0 - e.sigStart
 		covering = e.coveringAt(e.t0)
 	}
-	e.deadline = e.t0 + p.TauMin
+	e.deadline = e.t0 + e.p.TauMin
 
 	// First-response logic at t0.
 	e.sim.ScheduleAt(e.t0, "detection", func(float64) {
-		e.onDetection(covering, overlap)
+		e.onDetection(covering, r.overlap)
 	})
 
 	// Run to quiescence past the deadline plus a full revisit (late pass
 	// attempts are filtered by the ground's deadline check anyway).
-	sim.Run(e.deadline + 4*e.l1 + e.tc + 1)
+	e.sim.Run(e.deadline + 4*e.l1 + e.tc + 1)
 
 	res := EpisodeResult{
 		Level:           e.bestLevel,
@@ -414,7 +502,7 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 		Delivered:       e.deliveredByTau,
 		DetectionDelay:  detectionDelay,
 		ChainLength:     e.bestPasses,
-		MessagesSent:    net.Stats().Sent + ground.Stats().Sent,
+		MessagesSent:    e.net.Stats().Sent + e.ground.Stats().Sent,
 		Termination:     e.termination,
 		DeliveryLatency: math.NaN(),
 	}
@@ -423,15 +511,27 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 	} else {
 		res.Level = qos.LevelMiss
 	}
-	return res, nil
+	return res
+}
+
+// RunEpisode simulates one signal episode under the given parameters and
+// returns its outcome.
+func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
+	r, err := newEpisodeRunner(p, rng)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	return r.run(), nil
 }
 
 // onDetection implements the scheme-dependent first response of the
 // satellite(s) covering the target at t0.
 func (e *episode) onDetection(covering []int, overlap bool) {
 	defer func() { e.failRollArmed = true }()
-	e.trace(e.t0, covering[len(covering)-1], TraceDetection,
-		"covered by %d footprint(s); deadline τ expires at +%.1f", len(covering), e.p.TauMin)
+	if e.tracing() {
+		e.trace(e.t0, covering[len(covering)-1], TraceDetection,
+			"covered by %d footprint(s); deadline τ expires at +%.1f", len(covering), e.p.TauMin)
+	}
 	if len(covering) >= 2 {
 		// Simultaneous multiple coverage at detection: one joint
 		// computation yields the level-3 result, no coordination needed
@@ -453,7 +553,9 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 	case e.p.Scheme == qos.SchemeBAQ:
 		// Deliver after the initial computation, no waiting.
 		e.sim.Schedule(h1, "initial-computation", func(t float64) {
-			e.trace(t, s1.id, TraceComputationDone, "initial computation")
+			if e.tracing() {
+				e.trace(t, s1.id, TraceComputationDone, "initial computation")
+			}
 			s1.sendAlert(qos.LevelSingle, 1)
 		})
 		e.armPreliminaryGuard(s1)
@@ -462,13 +564,17 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 		// OAQ, overlapping regime: withhold the preliminary result and
 		// wait for the overlapped footprints (§3.1).
 		e.sim.Schedule(h1, "initial-computation", func(t float64) {
-			e.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
+			if e.tracing() {
+				e.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
+			}
 		})
 		tBeta := float64(s1.id+1) * e.l1
 		if tBeta <= e.deadline {
 			e.sim.ScheduleAt(tBeta, "overlap-arrival", func(now float64) {
-				e.trace(now, s1.id+1, TracePassArrival,
-					"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
+				if e.tracing() {
+					e.trace(now, s1.id+1, TracePassArrival,
+						"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
+				}
 				if e.signalActiveAt(now) {
 					e.jointComputation(s1, 2)
 					return
@@ -485,7 +591,9 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 		// OAQ, underlapping regime: iterative sequential localization
 		// along the coordination chain (§3.2).
 		e.sim.Schedule(h1, "initial-computation", func(now float64) {
-			e.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
+			if e.tracing() {
+				e.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
+			}
 			s1.evaluate(now)
 		})
 		// S1 holds terminal responsibility until it forwards a request:
@@ -504,7 +612,9 @@ func (e *episode) jointComputation(s *satellite, passes int) {
 	e.sim.Schedule(h, "joint-computation", func(t float64) {
 		s.passes = passes
 		s.level = qos.LevelSimultaneousDual
-		e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
+		if e.tracing() {
+			e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
+		}
 		s.sendAlert(qos.LevelSimultaneousDual, passes)
 	})
 }
@@ -517,7 +627,9 @@ func (e *episode) jointComputation(s *satellite, passes int) {
 func (e *episode) armPreliminaryGuard(s *satellite) {
 	e.sim.ScheduleAt(e.deadline, "preliminary-guard", func(t float64) {
 		if !s.sentAlert && !s.forwarded && !e.net.FailSilent(s.node) {
-			e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
+			if e.tracing() {
+				e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
+			}
 			e.noteTermination(TermDeadline)
 			s.sendAlert(qos.LevelSingle, 1)
 		}

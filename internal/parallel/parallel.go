@@ -1,0 +1,95 @@
+// Package parallel is the deterministic parallel evaluation engine of
+// the repository: a bounded, order-preserving worker-pool map over an
+// index range, and a sharded Monte-Carlo runner that splits an episode
+// budget into fixed-size shards with per-shard RNG substreams.
+//
+// Determinism is the design constraint everything else serves. The
+// sharding of a Monte-Carlo budget is a pure function of the budget
+// (never of the worker count), each shard derives its randomness from
+// its own substream, and partial results are merged in shard order —
+// so the same seed yields bit-identical results whether the shards run
+// on one worker or sixteen.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default parallelism: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize maps a worker-count setting to an effective count: values
+// below 1 select DefaultWorkers().
+func Normalize(workers int) int {
+	if workers < 1 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// Map invokes fn(i) for every i in [0, n), running at most workers
+// invocations concurrently (workers <= 1 runs inline with no
+// goroutines). It always attempts every index, then returns the error
+// of the lowest failing index — so the reported error does not depend
+// on goroutine scheduling. Results are communicated by fn writing into
+// the i-th slot of a caller-owned slice; distinct indices never race.
+func Map(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers = Normalize(workers); workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapSlice runs fn over [0, n) with Map's semantics and collects the
+// results in index order.
+func MapSlice[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Map(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

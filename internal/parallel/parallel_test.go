@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversEveryIndexInOrderSlots(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 257
+		out := make([]int, n)
+		err := Map(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMoreWorkersThanWork(t *testing.T) {
+	var calls atomic.Int64
+	if err := Map(64, 3, func(int) error { calls.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("fn called %d times, want 3", calls.Load())
+	}
+}
+
+func TestMapEmptyAndDefaultWorkers(t *testing.T) {
+	if err := Map(4, 0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// workers <= 0 selects DefaultWorkers and still covers everything.
+	var calls atomic.Int64
+	if err := Map(0, 10, func(int) error { calls.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 {
+		t.Fatalf("fn called %d times, want 10", calls.Load())
+	}
+	if DefaultWorkers() < 1 || Normalize(0) < 1 || Normalize(3) != 3 {
+		t.Fatal("worker normalization broken")
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := Map(workers, 50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("workers=%d: got %v, want boom at 3", workers, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := Map(workers, 100, func(int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("observed %d concurrent invocations, cap is %d", peak.Load(), workers)
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	out, err := MapSlice(4, 20, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("slot %d = %q", i, v)
+		}
+	}
+	if _, err := MapSlice(4, 5, func(i int) (int, error) {
+		return 0, fmt.Errorf("no %d", i)
+	}); err == nil || err.Error() != "no 0" {
+		t.Fatalf("got %v, want no 0", err)
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	cases := []struct {
+		total, size int
+		wantShards  int
+	}{
+		{0, 100, 0},
+		{-5, 100, 0},
+		{1, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{1000, 0, 1}, // default size 1024
+		{5000, 0, 5},
+		{2048, 1024, 2},
+	}
+	for _, c := range cases {
+		shards := Shards(c.total, c.size)
+		if len(shards) != c.wantShards {
+			t.Errorf("Shards(%d, %d): %d shards, want %d", c.total, c.size, len(shards), c.wantShards)
+			continue
+		}
+		next := 0
+		for i, s := range shards {
+			if s.Index != i {
+				t.Errorf("Shards(%d, %d): shard %d has Index %d", c.total, c.size, i, s.Index)
+			}
+			if s.Start != next {
+				t.Errorf("Shards(%d, %d): shard %d starts at %d, want %d", c.total, c.size, i, s.Start, next)
+			}
+			if s.Count <= 0 {
+				t.Errorf("Shards(%d, %d): shard %d has count %d", c.total, c.size, i, s.Count)
+			}
+			next = s.Start + s.Count
+		}
+		if c.total > 0 && next != c.total {
+			t.Errorf("Shards(%d, %d): covers %d episodes", c.total, c.size, next)
+		}
+	}
+}
+
+func TestShardsIndependentOfWorkers(t *testing.T) {
+	// The partition is a pure function of the budget; there is no worker
+	// parameter to vary, which is the point — assert the fixed shape.
+	a := Shards(10000, 0)
+	b := Shards(10000, 0)
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("partition not fixed: %d vs %d shards", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMonteCarloDeterministicMerge(t *testing.T) {
+	// A toy tally: sum of pseudo-random contributions derived from the
+	// shard index. Any worker count must give the identical fold.
+	run := func(s Shard) ([2]int, error) {
+		return [2]int{s.Count, s.Index * s.Count}, nil
+	}
+	merge := func(acc, part [2]int) [2]int {
+		return [2]int{acc[0] + part[0], acc[1] + part[1]}
+	}
+	ref, err := MonteCarlo(1, 10000, 128, run, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref[0] != 10000 {
+		t.Fatalf("merged count %d, want 10000", ref[0])
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := MonteCarlo(workers, 10000, 128, run, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: %v != %v", workers, got, ref)
+		}
+	}
+	if _, err := MonteCarlo(4, 0, 0, run, merge); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

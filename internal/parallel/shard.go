@@ -1,0 +1,70 @@
+package parallel
+
+import "fmt"
+
+// DefaultShardSize is the fixed Monte-Carlo shard granularity. It is a
+// property of the *budget partition*, not of the machine: a 10000-episode
+// run is always the same ten shards, so its result is independent of the
+// worker count. The size balances scheduling overhead (larger is
+// cheaper) against load-balancing and available parallelism on small
+// budgets (smaller is better); ~1k episodes per shard keeps per-shard
+// setup amortized while a typical 10k–50k budget still fans out to
+// dozens of independent units.
+const DefaultShardSize = 1024
+
+// Shard is one fixed slice of a Monte-Carlo episode budget.
+type Shard struct {
+	// Index is the shard ordinal; by convention it is also the RNG
+	// substream index the shard draws from (stats.NewRNG(seed, Index)).
+	Index int
+	// Start is the ordinal of the shard's first episode in the budget.
+	Start int
+	// Count is the number of episodes in the shard.
+	Count int
+}
+
+// Shards partitions a total episode budget into consecutive shards of
+// the given size (<= 0 selects DefaultShardSize). The partition depends
+// only on (total, size) — never on the worker count.
+func Shards(total, size int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	out := make([]Shard, 0, (total+size-1)/size)
+	for start := 0; start < total; start += size {
+		count := size
+		if start+count > total {
+			count = total - start
+		}
+		out = append(out, Shard{Index: len(out), Start: start, Count: count})
+	}
+	return out
+}
+
+// MonteCarlo splits an episode budget into fixed-size shards (shardSize
+// <= 0 selects DefaultShardSize), runs every shard over a worker pool of
+// the given width, and folds the per-shard partial tallies in shard
+// order with merge — the deterministic reduction that makes the result
+// independent of the worker count. run must derive all randomness from
+// its shard (conventionally stats.NewRNG(seed, shard.Index)) and must
+// not share mutable state across shards.
+func MonteCarlo[T any](workers, episodes, shardSize int, run func(s Shard) (T, error), merge func(acc, part T) T) (T, error) {
+	var acc T
+	if episodes <= 0 {
+		return acc, fmt.Errorf("parallel: episode budget %d must be positive", episodes)
+	}
+	shards := Shards(episodes, shardSize)
+	parts, err := MapSlice(workers, len(shards), func(i int) (T, error) {
+		return run(shards[i])
+	})
+	if err != nil {
+		return acc, err
+	}
+	for _, part := range parts {
+		acc = merge(acc, part)
+	}
+	return acc, nil
+}

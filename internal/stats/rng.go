@@ -24,11 +24,20 @@ type RNG struct {
 
 // NewRNG returns a generator for the given seed and stream index.
 func NewRNG(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed, stream)
+	return r
+}
+
+// Reseed reinitializes the generator in place for the given (seed,
+// stream) pair — equivalent to *r = *NewRNG(seed, stream) without the
+// allocation. The paired protocol evaluator uses it to replay one
+// substream per episode through a long-lived episode runner.
+func (r *RNG) Reseed(seed, stream uint64) {
 	// SplitMix64 expansion of (seed, stream) into xoshiro state. The
 	// golden-ratio increment guarantees distinct, well-mixed states for
 	// consecutive seeds and streams.
 	x := seed ^ (stream * 0x9e3779b97f4a7c15)
-	r := &RNG{}
 	for i := range r.s {
 		x += 0x9e3779b97f4a7c15
 		z := x
@@ -40,7 +49,6 @@ func NewRNG(seed, stream uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Uint64 returns the next 64 random bits.

@@ -149,6 +149,31 @@ func EvaluateProtocol(p ProtocolParams, episodes int, rng *RNG) (*Evaluation, er
 	return oaq.Evaluate(p, episodes, rng)
 }
 
+// EvaluateProtocolParallel runs the protocol on the sharded Monte-Carlo
+// engine: the episode budget splits into fixed-size shards independent
+// of the worker count, shard i draws from the substream (seed, i), and
+// tallies merge in shard order — so the result is bit-identical for any
+// workers value. workers <= 0 selects one worker per CPU.
+func EvaluateProtocolParallel(p ProtocolParams, episodes int, seed uint64, workers int) (*Evaluation, error) {
+	return oaq.EvaluateParallel(p, episodes, seed, workers)
+}
+
+// PairedComparison is the outcome of a common-random-numbers comparison
+// between two protocol configurations.
+type PairedComparison = oaq.PairedComparison
+
+// EvaluateProtocolPaired compares two configurations on the same random
+// workload (common random numbers), optionally sharded across workers
+// with the same determinism guarantee as EvaluateProtocolParallel.
+func EvaluateProtocolPaired(a, b ProtocolParams, episodes int, seed uint64, workers int) (*PairedComparison, error) {
+	return oaq.EvaluatePairedParallel(a, b, episodes, seed, workers)
+}
+
+// CapacityCacheStats reports the hit/miss counters of the process-wide
+// memoized capacity-distribution cache behind PlaneCapacity and every
+// sweep driver.
+func CapacityCacheStats() (hits, misses uint64) { return capacity.AnalyticCacheStats() }
+
 // RunEpisodeTraced simulates one episode and returns its event timeline
 // alongside the outcome.
 func RunEpisodeTraced(p ProtocolParams, rng *RNG) (EpisodeResult, []TraceEvent, error) {
