@@ -1,10 +1,22 @@
 #!/bin/sh
-# Tier-1 gate: everything must build, pass vet, and pass the full test
-# suite under the race detector (the parallel evaluation engine, sweep
-# drivers, and mission batch all exercise their concurrent paths in
-# their package tests).
+# Tier-1 gate: everything must build, be gofmt-clean, pass vet, and
+# pass the full test suite under the race detector (the parallel
+# evaluation engine, sweep drivers, and mission batch all exercise
+# their concurrent paths in their package tests). The final step is an
+# observability smoke test: a short bench run must emit a JSON metrics
+# snapshot that parses and contains the core metric families.
 set -eux
 
 go build ./...
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
 go test -race ./...
+
+go run ./cmd/oaqbench -exp fig9,simvsana -episodes 256 -metrics - |
+    go run ./cmd/metricscheck des oaq crosslink parallel capacity

@@ -21,6 +21,7 @@ import (
 	"satqos/internal/des"
 	"satqos/internal/membership"
 	"satqos/internal/oaq"
+	"satqos/internal/obs"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("constsim", flag.ContinueOnError)
 	mode := fs.String("mode", "protocol", "simulation mode: protocol | capacity | membership")
 	k := fs.Int("k", 10, "plane capacity (protocol mode)")
@@ -49,8 +50,16 @@ func run(args []string, w io.Writer) error {
 	periods := fs.Int("periods", 200, "simulated deployment periods (capacity mode)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker-pool size for the protocol Monte-Carlo (0 = GOMAXPROCS; results are identical at any setting)")
+	metrics := fs.String("metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		defer func() {
+			if err == nil {
+				err = obs.Default().DumpJSON(*metrics, w)
+			}
+		}()
 	}
 
 	switch *mode {
@@ -70,6 +79,9 @@ func run(args []string, w io.Writer) error {
 		p.ComputeTime = stats.Exponential{Rate: *nu}
 		p.BackwardMessaging = *backward
 		p.FailSilentProb = *failSilent
+		if *metrics != "" {
+			p.Metrics = obs.Default()
+		}
 		ev, err := oaq.EvaluateParallel(p, *episodes, *seed, *workers)
 		if err != nil {
 			return err

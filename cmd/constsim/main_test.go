@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -53,6 +54,36 @@ func TestMembershipMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestProtocolModeMetricsDump(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "protocol", "-episodes", "1000", "-metrics", "-"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i := strings.Index(out, "\n{")
+	if i < 0 {
+		t.Fatalf("no JSON snapshot after the report:\n%s", out)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out[i+1:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	var episodes *float64
+	for _, m := range snap.Metrics {
+		if m.Name == "oaq_episodes_total" {
+			episodes = m.Value
+		}
+	}
+	if episodes == nil || *episodes < 1000 {
+		t.Errorf("oaq_episodes_total = %v, want >= 1000", episodes)
 	}
 }
 

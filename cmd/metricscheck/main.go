@@ -1,0 +1,134 @@
+// Command metricscheck validates a JSON metrics snapshot, as dumped by
+// oaqbench/constsim/oaqtrace with -metrics. It reads from stdin (or a
+// file given with -in), extracts the last top-level JSON object from
+// the input — tolerating the table output that precedes a "-metrics -"
+// dump — and verifies that every metric family named on the command
+// line is present with at least one metric. It is the CI smoke-test
+// companion of the -metrics flag:
+//
+//	oaqbench -exp fig9 -episodes 256 -metrics - | metricscheck des oaq crosslink
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+}
+
+// snapshot mirrors obs.Snapshot's wire format; re-declared here so the
+// check exercises the published JSON contract rather than the package
+// internals.
+type snapshot struct {
+	Metrics []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	} `json:"metrics"`
+}
+
+func run(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
+	in := fs.String("in", "", "read the snapshot from this file instead of stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	families := fs.Args()
+	if len(families) == 0 {
+		return fmt.Errorf("no metric families to check (usage: metricscheck [-in file] family...)")
+	}
+
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	obj, err := lastJSONObject(data)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(obj, &snap); err != nil {
+		return fmt.Errorf("snapshot does not parse: %w", err)
+	}
+	if len(snap.Metrics) == 0 {
+		return fmt.Errorf("snapshot contains no metrics")
+	}
+
+	counts := make(map[string]int)
+	for _, fam := range families {
+		prefix := fam + "_"
+		for _, m := range snap.Metrics {
+			if strings.HasPrefix(m.Name, prefix) {
+				counts[fam]++
+			}
+		}
+	}
+	var missing []string
+	for _, fam := range families {
+		if counts[fam] == 0 {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("snapshot has %d metrics but no %s families", len(snap.Metrics), strings.Join(missing, ", "))
+	}
+	for _, fam := range families {
+		fmt.Fprintf(w, "%s: %d metrics\n", fam, counts[fam])
+	}
+	fmt.Fprintf(w, "ok: %d metrics, all %d families present\n", len(snap.Metrics), len(families))
+	return nil
+}
+
+// lastJSONObject returns the last top-level JSON object in the input.
+// Experiments may print tables before a "-metrics -" snapshot, so the
+// object is located by its exposition convention — "{" alone at the
+// start of a line (the indented-marshal form DumpJSON emits) — and the
+// JSON decoder validates balance from there. A lone leading "{" (the
+// whole input is the snapshot) also qualifies.
+func lastJSONObject(data []byte) (json.RawMessage, error) {
+	start := -1
+	for i, c := range data {
+		if c != '{' {
+			continue
+		}
+		if i == 0 || data[i-1] == '\n' {
+			start = i
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("no JSON object found in input (%d bytes)", len(data))
+	}
+	var obj json.RawMessage
+	if err := json.Unmarshal(trimToValue(data[start:]), &obj); err != nil {
+		return nil, fmt.Errorf("trailing JSON object does not parse: %w", err)
+	}
+	return obj, nil
+}
+
+// trimToValue strips trailing bytes after the final "}" so stray
+// output after the snapshot does not fail the strict Unmarshal.
+func trimToValue(data []byte) []byte {
+	for i := len(data) - 1; i >= 0; i-- {
+		if data[i] == '}' {
+			return data[:i+1]
+		}
+	}
+	return data
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSnapshot = `{
+  "metrics": [
+    {
+      "name": "des_events_fired_total",
+      "type": "counter",
+      "value": 10
+    },
+    {
+      "name": "oaq_episodes_total",
+      "type": "counter",
+      "value": 4
+    }
+  ]
+}
+`
+
+func TestCheckPasses(t *testing.T) {
+	var b strings.Builder
+	in := strings.NewReader("some table output\nmore rows {not json}\n" + sampleSnapshot)
+	if err := run([]string{"des", "oaq"}, in, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "all 2 families present") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestCheckMissingFamily(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"des", "crosslink"}, strings.NewReader(sampleSnapshot), &b)
+	if err == nil || !strings.Contains(err.Error(), "crosslink") {
+		t.Errorf("missing family not reported: %v", err)
+	}
+}
+
+func TestCheckNoJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"des"}, strings.NewReader("just text\n"), &b); err == nil {
+		t.Error("input without a snapshot accepted")
+	}
+	if err := run([]string{"des"}, strings.NewReader(`{"metrics": []}`), &b); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if err := run(nil, strings.NewReader(sampleSnapshot), &b); err == nil {
+		t.Error("zero families accepted")
+	}
+}
+
+func TestCheckFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, []byte(sampleSnapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-in", path, "oaq"}, strings.NewReader(""), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "oaq: 1 metrics") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestLastJSONObjectPicksLast(t *testing.T) {
+	data := []byte("{\n  \"metrics\": []\n}\nnoise\n" + sampleSnapshot)
+	obj, err := lastJSONObject(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(obj), "des_events_fired_total") {
+		t.Errorf("did not pick the last object:\n%s", obj)
+	}
+}

@@ -8,6 +8,8 @@
 //	oaqbench -exp fig9 -csv           # one experiment as CSV
 //	oaqbench -exp fig8 -svg figures/  # also render an SVG chart
 //	oaqbench -exp simvsana -episodes 50000
+//	oaqbench -exp fig9,simvsana -metrics -   # several experiments + JSON metrics snapshot
+//	oaqbench -exp all -pprof localhost:6060  # live pprof + Prometheus /metrics while running
 //
 // Paper experiments: table1, fig7, fig8, fig9, spot, tau, duration.
 // Validations: simvsana, geometry, capacity, coverage.
@@ -20,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -28,6 +33,7 @@ import (
 	"satqos/internal/experiment"
 	"satqos/internal/mission"
 	"satqos/internal/numeric"
+	"satqos/internal/obs"
 	"satqos/internal/plot"
 	"satqos/internal/qos"
 )
@@ -49,6 +55,8 @@ type options struct {
 	phi      float64
 	lambdas  []float64
 	workers  int
+	metrics  string
+	pprof    string
 }
 
 // writeSVG renders a sweep as an SVG chart into the -svg directory.
@@ -104,11 +112,23 @@ func run(args []string, w io.Writer) error {
 	fs.Float64Var(&opt.phi, "phi", 30000, "scheduled-deployment period (hours)")
 	lambdaList := fs.String("lambdas", "", "comma-separated failure rates (default: the paper's 1e-5..1e-4 grid)")
 	fs.IntVar(&opt.workers, "workers", 0, "worker-pool size for sweeps and simulations (0 = GOMAXPROCS; results are identical at any setting)")
+	fs.StringVar(&opt.metrics, "metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
+	fs.StringVar(&opt.pprof, "pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while running (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opt.seed = *seed
 	experiment.Workers = opt.workers
+	if opt.metrics != "" || opt.pprof != "" {
+		experiment.Metrics = obs.Default()
+	}
+	if opt.pprof != "" {
+		stop, err := serveDebug(opt.pprof, w)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	if *lambdaList != "" {
 		for _, tok := range strings.Split(*lambdaList, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -119,7 +139,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	ids := []string{opt.exp}
+	ids := strings.Split(opt.exp, ",")
 	if opt.exp == "all" {
 		ids = []string{
 			"table1", "geometry", "capacity", "fig7", "fig8", "fig9", "spot",
@@ -131,11 +151,39 @@ func run(args []string, w io.Writer) error {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := runOne(id, opt, w); err != nil {
+		if err := runOne(strings.TrimSpace(id), opt, w); err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 	}
+	if opt.metrics != "" {
+		return obs.Default().DumpJSON(opt.metrics, w)
+	}
 	return nil
+}
+
+// serveDebug starts the runtime-introspection HTTP server: the
+// net/http/pprof profiling endpoints plus the registry's Prometheus
+// exposition under /metrics. The bound address is printed so callers
+// (and tests) can use ":0".
+func serveDebug(addr string, w io.Writer) (stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default().WritePrometheus(rw)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(w, "pprof and /metrics serving on http://%s\n", ln.Addr())
+	return srv.Close, nil
 }
 
 func runOne(id string, opt options, w io.Writer) error {
@@ -318,6 +366,7 @@ func runMission(opt options, w io.Writer) error {
 		cfg.Seed = opt.seed
 		cfg.SignalRatePerMin = 0.05
 		cfg.Workers = opt.workers
+		cfg.Metrics = experiment.Metrics
 		rep, err := mission.Run(cfg, 24*60)
 		if err != nil {
 			return err

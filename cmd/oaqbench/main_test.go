@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -79,6 +82,91 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}, &b); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table1, geometry"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"QoS levels", "90.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comma-separated -exp output missing %q", want)
+		}
+	}
+}
+
+func TestRunMetricsDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var b strings.Builder
+	if err := run([]string{"-exp", "simvsana", "-episodes", "256", "-metrics", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	for _, family := range []string{"des_", "oaq_", "crosslink_", "parallel_", "capacity_", "experiment_"} {
+		found := false
+		for _, m := range snap.Metrics {
+			if strings.HasPrefix(m.Name, family) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("snapshot missing %s* family", family)
+		}
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	var b strings.Builder
+	stop, err := serveDebug("127.0.0.1:0", &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	out := b.String()
+	i := strings.Index(out, "http://")
+	if i < 0 {
+		t.Fatalf("bound address not printed: %q", out)
+	}
+	base := strings.TrimSpace(out[i:])
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "# TYPE") {
+		t.Errorf("/metrics not in Prometheus exposition format:\n%.200s", body)
 	}
 }
 

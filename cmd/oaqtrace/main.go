@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"satqos/internal/oaq"
+	"satqos/internal/obs"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -42,6 +43,7 @@ func run(args []string, w io.Writer) error {
 	backward := fs.Bool("backward", false, "enable backward (coordination-done) messaging")
 	failSilent := fs.Float64("failsilent", 0, "per-peer fail-silent probability")
 	seed := fs.Uint64("seed", 7, "random seed")
+	metrics := fs.String("metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +63,18 @@ func run(args []string, w io.Writer) error {
 	p.ComputeTime = stats.Exponential{Rate: *nu}
 	p.BackwardMessaging = *backward
 	p.FailSilentProb = *failSilent
+	if *metrics != "" {
+		// Every searched episode publishes into the process registry, so
+		// the snapshot summarizes the whole search, not just the episode
+		// that got printed.
+		p.Metrics = obs.Default()
+	}
+	dump := func() error {
+		if *metrics == "" {
+			return nil
+		}
+		return obs.Default().DumpJSON(*metrics, w)
+	}
 
 	rng := stats.NewRNG(*seed, 0)
 	for i := 0; i < *episodes; i++ {
@@ -81,7 +95,10 @@ func run(args []string, w io.Writer) error {
 		for _, ev := range events {
 			fmt.Fprintln(w, " ", ev)
 		}
-		return nil
+		return dump()
+	}
+	if err := dump(); err != nil {
+		return err
 	}
 	return fmt.Errorf("no matching episode in %d tries (level filter %d)", *episodes, *level)
 }

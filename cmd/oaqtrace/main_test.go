@@ -1,9 +1,66 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
+
+// TestTraceLevelSearchGolden pins the full output of the -level
+// episode-search path — the search must land on the same episode and
+// the timeline must render identically, detection anchored at t=0.
+// Regenerate with:
+//
+//	go run ./cmd/oaqtrace -level 2 -episodes 300 -seed 7 > cmd/oaqtrace/testdata/level2_seed7.golden
+func TestTraceLevelSearchGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/level2_seed7.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-level", "2", "-episodes", "300", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("level-2 search output drifted from golden file.\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	if !strings.HasPrefix(b.String(), "OAQ episode") {
+		t.Error("golden output does not start with the episode header")
+	}
+	if !strings.Contains(b.String(), "t=   0.000") {
+		t.Error("timeline not rebased to the detection event")
+	}
+}
+
+func TestTraceMetricsDump(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-level", "2", "-episodes", "300", "-metrics", "-"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i := strings.Index(out, "\n{")
+	if i < 0 {
+		t.Fatalf("no JSON snapshot after the timeline:\n%s", out)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out[i+1:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "oaq_episodes_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snapshot missing oaq_episodes_total")
+	}
+}
 
 func TestTraceDefault(t *testing.T) {
 	var b strings.Builder

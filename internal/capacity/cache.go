@@ -2,9 +2,9 @@ package capacity
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"satqos/internal/numeric"
+	"satqos/internal/obs"
 )
 
 // The memoized Analytic cache. Params is a small comparable value (three
@@ -23,7 +23,15 @@ var analyticCache = struct {
 	m map[Params]*Distribution
 }{m: make(map[Params]*Distribution)}
 
-var cacheHits, cacheMisses atomic.Uint64
+// The hit/miss counters live on the process-global metric registry
+// (scraped by the CLIs' -metrics/-pprof surfaces); AnalyticCacheStats
+// remains as a shim over them.
+var (
+	cacheHits = obs.Default().Counter("capacity_analytic_cache_hits_total",
+		"Memoized Analytic capacity solves served from the cache.")
+	cacheMisses = obs.Default().Counter("capacity_analytic_cache_misses_total",
+		"Analytic capacity solves performed (cache misses).")
+)
 
 // stepperPool recycles RK4 stage buffers across transient solves (the
 // cache makes solves rare, but sweeps over distinct λ still do one per
@@ -39,7 +47,7 @@ func (p Params) analyticCached() (*Distribution, error) {
 	d, ok := analyticCache.m[p]
 	analyticCache.RUnlock()
 	if ok {
-		cacheHits.Add(1)
+		cacheHits.Inc()
 		return d, nil
 	}
 	d, err := p.analyticUncached()
@@ -47,7 +55,7 @@ func (p Params) analyticCached() (*Distribution, error) {
 		// Invalid Params fail fast on every call; not worth caching.
 		return nil, err
 	}
-	cacheMisses.Add(1)
+	cacheMisses.Inc()
 	analyticCache.Lock()
 	if prev, ok := analyticCache.m[p]; ok {
 		d = prev
@@ -59,10 +67,11 @@ func (p Params) analyticCached() (*Distribution, error) {
 }
 
 // AnalyticCacheStats returns the cumulative hit and miss counters of the
-// memoized Analytic cache (a miss is a completed solve). Exposed for
-// tests and for operational visibility into sweep reuse.
+// memoized Analytic cache (a miss is a completed solve). It is a shim
+// over the capacity_analytic_cache_{hits,misses}_total counters of
+// obs.Default(), kept for callers predating the metrics registry.
 func AnalyticCacheStats() (hits, misses uint64) {
-	return cacheHits.Load(), cacheMisses.Load()
+	return cacheHits.Value(), cacheMisses.Value()
 }
 
 // ResetAnalyticCache drops every memoized distribution and zeroes the
@@ -71,6 +80,6 @@ func ResetAnalyticCache() {
 	analyticCache.Lock()
 	analyticCache.m = make(map[Params]*Distribution)
 	analyticCache.Unlock()
-	cacheHits.Store(0)
-	cacheMisses.Store(0)
+	cacheHits.Reset()
+	cacheMisses.Reset()
 }

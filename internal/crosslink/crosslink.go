@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"satqos/internal/des"
+	"satqos/internal/obs"
 	"satqos/internal/stats"
 )
 
@@ -61,7 +62,14 @@ type Network struct {
 	handlers   map[NodeID]Handler
 	failSilent map[NodeID]bool
 	stats      Stats
+	delayHist  *obs.LocalHistogram
 }
+
+// SetDelayHistogram installs a per-shard histogram that observes each
+// delivered message's transit delay (simulation minutes). A nil
+// histogram disables the observation. The histogram outlives Reset —
+// it spans a shard of episodes, not one episode.
+func (n *Network) SetDelayHistogram(h *obs.LocalHistogram) { n.delayHist = h }
 
 // Config parameterizes a Network.
 type Config struct {
@@ -160,6 +168,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 			return
 		}
 		n.stats.Delivered++
+		n.delayHist.Observe(now - msg.SentAt)
 		h(now, msg)
 	})
 	return nil

@@ -1,0 +1,46 @@
+package crosslink
+
+import (
+	"testing"
+
+	"satqos/internal/obs"
+)
+
+func TestDelayHistogramObservesDeliveries(t *testing.T) {
+	sim, net := newNet(t, Config{MaxDelayMin: 0.05})
+	h := obs.NewLocalHistogram([]float64{0.01, 0.05, 1})
+	net.SetDelayHistogram(h)
+	if err := net.Register(1, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(2, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	const sends = 50
+	for i := 0; i < sends; i++ {
+		if err := net.Send(1, 2, "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(1)
+	if got := h.Count(); got != sends {
+		t.Fatalf("histogram count = %d, want %d", got, sends)
+	}
+	if sum := h.Sum(); sum <= 0 || sum > sends*0.05 {
+		t.Fatalf("histogram sum = %g outside (0, %g]", sum, sends*0.05)
+	}
+	// The histogram spans episodes: Reset must not clear it.
+	net.Reset()
+	if got := h.Count(); got != sends {
+		t.Fatalf("histogram cleared by Reset: count = %d", got)
+	}
+	// Dropped messages are never observed.
+	net.SetFailSilent(2, true)
+	if err := net.Send(1, 2, "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2)
+	if got := h.Count(); got != sends {
+		t.Fatalf("dropped message observed: count = %d", got)
+	}
+}

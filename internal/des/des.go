@@ -50,6 +50,34 @@ type Simulation struct {
 	// reuse enables the fired-event freelist (see EnableEventReuse).
 	reuse bool
 	free  []*Event
+	// Kernel counters (see Stats); plain fields, since the simulation is
+	// single-threaded by contract.
+	freeHits   uint64
+	freeMisses uint64
+	maxDepth   int
+}
+
+// Stats is a snapshot of the kernel's counters since the last Reset.
+// Scheduled counts Schedule calls, Fired dispatched events; FreelistHits
+// and FreelistMisses split Scheduled by whether the event storage came
+// from the recycled pool; MaxHeapDepth is the peak pending-event count.
+type Stats struct {
+	Scheduled      uint64
+	Fired          uint64
+	FreelistHits   uint64
+	FreelistMisses uint64
+	MaxHeapDepth   int
+}
+
+// Stats returns the kernel counters accumulated since the last Reset.
+func (s *Simulation) Stats() Stats {
+	return Stats{
+		Scheduled:      s.seq,
+		Fired:          s.fired,
+		FreelistHits:   s.freeHits,
+		FreelistMisses: s.freeMisses,
+		MaxHeapDepth:   s.maxDepth,
+	}
 }
 
 // Reset returns the simulation to time zero with an empty event queue,
@@ -70,6 +98,9 @@ func (s *Simulation) Reset() {
 	s.seq = 0
 	s.fired = 0
 	s.halted = false
+	s.freeHits = 0
+	s.freeMisses = 0
+	s.maxDepth = 0
 }
 
 // EnableEventReuse turns on recycling of fired events: Step returns each
@@ -116,10 +147,15 @@ func (s *Simulation) Schedule(delay float64, label string, handler Handler) *Eve
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		*e = Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+		s.freeHits++
 	} else {
 		e = &Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+		s.freeMisses++
 	}
 	heap.Push(&s.queue, e)
+	if len(s.queue) > s.maxDepth {
+		s.maxDepth = len(s.queue)
+	}
 	return e
 }
 

@@ -8,7 +8,6 @@ import (
 	"satqos/internal/constellation"
 	"satqos/internal/oaq"
 	"satqos/internal/orbit"
-	"satqos/internal/parallel"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -44,9 +43,14 @@ func SimVsAnalytic(capacities []int, episodes int, seed uint64) (*Table, float64
 			cells = append(cells, cell{k, scheme})
 		}
 	}
-	evs, err := parallel.MapSlice(Workers, len(cells), func(i int) (*oaq.Evaluation, error) {
+	evs, err := timedMapSlice(len(cells), func(i int) (*oaq.Evaluation, error) {
 		c := cells[i]
-		ev, err := oaq.EvaluateParallel(oaq.ReferenceParams(c.k, c.scheme), episodes, seed, 1)
+		p := oaq.ReferenceParams(c.k, c.scheme)
+		// Protocol metric families (des, oaq, crosslink) flow into the
+		// sweep registry; each cell publishes its deterministic totals
+		// once.
+		p.Metrics = Metrics
+		ev, err := oaq.EvaluateParallel(p, episodes, seed, 1)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: simulate k=%d %v: %w", c.k, c.scheme, err)
 		}

@@ -5,7 +5,6 @@ import (
 
 	"satqos/internal/capacity"
 	"satqos/internal/numeric"
-	"satqos/internal/parallel"
 	"satqos/internal/qos"
 )
 
@@ -69,7 +68,7 @@ func Figure7(lambdas []float64, eta int, phiHours float64) (*Sweep, error) {
 			"analytic route: time-averaged transient of the plane-capacity chain over one scheduled-deployment period",
 		},
 	}
-	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+	cols, err := timedMapSlice(len(lambdas), func(i int) ([]float64, error) {
 		dist, err := capacity.ReferenceParams(eta, lambdas[i], phiHours).Analytic()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: Figure7 at λ=%g: %w", lambdas[i], err)
@@ -134,7 +133,7 @@ func Figure8(lambdas []float64) (*Sweep, error) {
 		}
 		models[j] = model
 	}
-	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+	cols, err := timedMapSlice(len(lambdas), func(i int) ([]float64, error) {
 		dist, err := capacity.ReferenceParams(eta, lambdas[i], phi).Analytic()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: Figure8 at λ=%g: %w", lambdas[i], err)
@@ -204,7 +203,7 @@ func Figure9(lambdas []float64) (*Sweep, error) {
 			cells = append(cells, cell{scheme, y})
 		}
 	}
-	cols, err := parallel.MapSlice(Workers, len(lambdas), func(i int) ([]float64, error) {
+	cols, err := timedMapSlice(len(lambdas), func(i int) ([]float64, error) {
 		dist, err := capacity.ReferenceParams(eta, lambdas[i], phi).Analytic()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: Figure9 at λ=%g: %w", lambdas[i], err)
@@ -311,7 +310,7 @@ func TauSweep(taus []float64, lambda float64) (*Sweep, error) {
 		X:      taus,
 	}
 	cells := schemeLevelCells()
-	cols, err := parallel.MapSlice(Workers, len(taus), func(i int) ([]float64, error) {
+	cols, err := timedMapSlice(len(taus), func(i int) ([]float64, error) {
 		model, err := qos.NewModel(qos.ReferenceGeometry(), taus[i], mu, nu)
 		if err != nil {
 			return nil, err
@@ -366,7 +365,7 @@ func DurationSweep(meanDurations []float64, lambda float64) (*Sweep, error) {
 		X:      meanDurations,
 	}
 	cells := schemeLevelCells()
-	cols, err := parallel.MapSlice(Workers, len(meanDurations), func(i int) ([]float64, error) {
+	cols, err := timedMapSlice(len(meanDurations), func(i int) ([]float64, error) {
 		model, err := qos.NewModel(qos.ReferenceGeometry(), tau, 1/meanDurations[i], nu)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"testing"
+
+	"satqos/internal/obs"
+)
+
+// BenchmarkSimVsAnalyticMetrics measures the full-stack metrics tax on
+// the validation sweep: with Metrics set, every cell publishes its
+// protocol/des/crosslink families and every sweep point is timed. The
+// acceptance budget is <= 3% over the nil-registry baseline.
+func BenchmarkSimVsAnalyticMetrics(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "metrics=off"
+		if enabled {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			if enabled {
+				Metrics = obs.NewRegistry()
+			} else {
+				Metrics = nil
+			}
+			defer func() { Metrics = nil }()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SimVsAnalytic([]int{10, 12}, 2000, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"satqos/internal/obs"
+	"satqos/internal/parallel"
+)
+
+// Metrics, when non-nil, receives the sweep drivers' wall-clock
+// instrumentation (per-point timings) and is handed to the simulation
+// experiments as their oaq.Params.Metrics target. Like Workers it is
+// set once at startup (the CLIs wire it to obs.Default()); it is not
+// synchronized against mutation during a running sweep. Wall-clock
+// families are inherently nondeterministic, which is why they live
+// here rather than in the per-evaluation registries whose snapshots
+// are bit-identical at any worker count.
+var Metrics *obs.Registry
+
+// timedMapSlice is parallel.MapSlice with per-point wall-clock
+// instrumentation: every sweep point (λ value, τ value, table cell)
+// observes its duration into experiment_sweep_point_seconds and bumps
+// experiment_sweep_points_total. With Metrics nil it is exactly
+// MapSlice.
+func timedMapSlice[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if Metrics == nil {
+		return parallel.MapSlice(Workers, n, fn)
+	}
+	points := Metrics.Counter("experiment_sweep_points_total",
+		"Sweep points evaluated across all experiment drivers.")
+	hist := Metrics.Histogram("experiment_sweep_point_seconds",
+		"Wall-clock time of one sweep point.", obs.DurationBuckets)
+	return parallel.MapSlice(Workers, n, func(i int) (T, error) {
+		t := obs.StartTimer(hist)
+		v, err := fn(i)
+		t.ObserveDuration()
+		points.Inc()
+		return v, err
+	})
+}

@@ -21,6 +21,7 @@ import (
 
 	"satqos/internal/constellation"
 	"satqos/internal/geoloc"
+	"satqos/internal/obs"
 	"satqos/internal/orbit"
 	"satqos/internal/parallel"
 	"satqos/internal/qos"
@@ -58,6 +59,11 @@ type Config struct {
 	// The workload is generated on substream 0 and episode i draws from
 	// substream i+1, so the report is bit-identical at any setting.
 	Workers int
+	// Metrics, when non-nil, receives the run's metric families:
+	// episode/detection/level counters (published from the sequential
+	// aggregation, so they are worker-count independent) and the run's
+	// wall-clock duration.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a mission over the reference constellation with
@@ -154,6 +160,8 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 	if horizonMin <= 0 || math.IsNaN(horizonMin) {
 		return nil, fmt.Errorf("mission: horizon %g must be positive", horizonMin)
 	}
+	runTimer := obs.StartTimer(cfg.Metrics.Histogram("mission_run_seconds",
+		"Wall-clock duration of one mission run.", obs.DurationBuckets))
 	cons, err := constellation.New(cfg.Constellation)
 	if err != nil {
 		return nil, err
@@ -207,7 +215,31 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 		rep.MeanRealizedErrorKm[level] /= float64(n)
 		rep.MeanEstimatedErrorKm[level] /= float64(n)
 	}
+	cfg.publishMetrics(rep, detected)
+	runTimer.ObserveDuration()
 	return rep, nil
+}
+
+// publishMetrics flushes the run's aggregate counters into the
+// configured registry. Counts come from the sequential episode-order
+// aggregation, so they are identical at any Workers setting.
+func (c Config) publishMetrics(rep *Report, detected int) {
+	r := c.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter("mission_episodes_total", "Signals generated by the mission workload.").
+		Add(uint64(rep.Episodes))
+	r.Counter("mission_detected_total", "Signals seen by at least one footprint.").
+		Add(uint64(detected))
+	levels := make(map[qos.Level]uint64)
+	for _, out := range rep.Outcomes {
+		levels[out.Level]++
+	}
+	for l := qos.Level(0); l < qos.NumLevels; l++ {
+		r.Counter(fmt.Sprintf("mission_episode_level_total{level=%q}", l),
+			"Mission episode outcomes by achieved QoS level.").Add(levels[l])
+	}
 }
 
 type runner struct {

@@ -1,0 +1,46 @@
+package mission
+
+import (
+	"testing"
+
+	"satqos/internal/obs"
+)
+
+func TestMissionMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-constellation mission skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.SignalRatePerMin = 0.1
+	cfg.Metrics = obs.NewRegistry()
+	rep, err := Run(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Metrics.Snapshot()
+	ep := snap.Get("mission_episodes_total")
+	if ep == nil || ep.Value == nil || *ep.Value != float64(rep.Episodes) {
+		t.Fatalf("mission_episodes_total = %+v, want %d", ep, rep.Episodes)
+	}
+	det := snap.Get("mission_detected_total")
+	if det == nil || det.Value == nil {
+		t.Fatal("mission_detected_total missing")
+	}
+	if *det.Value > float64(rep.Episodes) {
+		t.Errorf("detected %v > episodes %d", *det.Value, rep.Episodes)
+	}
+	var levelSum float64
+	for _, m := range snap.Metrics {
+		if len(m.Name) > len("mission_episode_level_total") &&
+			m.Name[:len("mission_episode_level_total")] == "mission_episode_level_total" {
+			levelSum += *m.Value
+		}
+	}
+	if levelSum != float64(rep.Episodes) {
+		t.Errorf("level counters sum to %v, want %d", levelSum, rep.Episodes)
+	}
+	rt := snap.Get("mission_run_seconds")
+	if rt == nil || rt.Count == nil || *rt.Count != 1 {
+		t.Fatalf("mission_run_seconds = %+v, want one observation", rt)
+	}
+}

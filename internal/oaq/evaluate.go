@@ -132,11 +132,14 @@ func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := maybeShardMetrics(p.Metrics)
+	r.setMetrics(m)
 	var t tally
 	for i := 0; i < episodes; i++ {
 		res := r.run()
 		t.add(&res)
 	}
+	m.publish(p.Metrics)
 	return t.evaluation(episodes), nil
 }
 
@@ -155,28 +158,35 @@ func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evalua
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	t, err := parallel.MonteCarlo(workers, episodes, 0,
-		func(s parallel.Shard) (*tally, error) {
+	type shardOut struct {
+		t *tally
+		m *shardMetrics
+	}
+	out, err := parallel.MonteCarlo(workers, episodes, 0,
+		func(s parallel.Shard) (shardOut, error) {
 			r, err := newEpisodeRunner(p, stats.NewRNG(seed, uint64(s.Index)))
 			if err != nil {
-				return nil, err
+				return shardOut{}, err
 			}
-			t := &tally{}
+			o := shardOut{t: &tally{}, m: maybeShardMetrics(p.Metrics)}
+			r.setMetrics(o.m)
 			for i := 0; i < s.Count; i++ {
 				res := r.run()
-				t.add(&res)
+				o.t.add(&res)
 			}
-			return t, nil
+			return o, nil
 		},
-		func(acc, part *tally) *tally {
-			if acc == nil {
+		func(acc, part shardOut) shardOut {
+			if acc.t == nil {
 				return part
 			}
-			acc.merge(part)
+			acc.t.merge(part.t)
+			acc.m.merge(part.m)
 			return acc
 		})
 	if err != nil {
 		return nil, err
 	}
-	return t.evaluation(episodes), nil
+	out.m.publish(p.Metrics)
+	return out.t.evaluation(episodes), nil
 }

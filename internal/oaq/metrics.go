@@ -1,0 +1,185 @@
+package oaq
+
+import (
+	"fmt"
+
+	"satqos/internal/obs"
+	"satqos/internal/qos"
+)
+
+// shardMetrics is the single-goroutine metric accumulator of one
+// Monte-Carlo shard (or one sequential evaluation): plain counters and
+// local histograms, no atomics, no locks. The evaluation engines create
+// one per shard when Params.Metrics is set, merge them in shard order,
+// and publish the fold into the registry exactly once — so a metric
+// snapshot of a deterministic evaluation is itself bit-identical at any
+// worker count. When Params.Metrics is nil no shardMetrics exists and
+// the per-event hooks reduce to a nil check.
+type shardMetrics struct {
+	episodes     uint64
+	levels       [qos.NumLevels]uint64
+	terminations [TermChainCap + 1]uint64
+	traceKinds   [TraceAlertReceived + 1]uint64
+
+	desScheduled, desFired     uint64
+	desFreeHits, desFreeMisses uint64
+	desMaxDepth                int
+
+	linkSent, linkDelivered           uint64
+	linkDroppedLoss, linkDroppedFails uint64
+
+	alertLatency *obs.LocalHistogram
+	linkDelay    *obs.LocalHistogram
+}
+
+// Shared bucket layouts: every shard's local histograms use the same
+// package-level bounds slice, so the shard-order Merge is valid by
+// construction.
+var (
+	alertLatencyBounds = obs.MinuteBuckets
+	linkDelayBounds    = obs.MinuteBuckets
+)
+
+func newShardMetrics() *shardMetrics {
+	return &shardMetrics{
+		alertLatency: obs.NewLocalHistogram(alertLatencyBounds),
+		linkDelay:    obs.NewLocalHistogram(linkDelayBounds),
+	}
+}
+
+// maybeShardMetrics returns a fresh accumulator when a target registry
+// is configured, nil otherwise — nil disables every hook.
+func maybeShardMetrics(r *obs.Registry) *shardMetrics {
+	if r == nil {
+		return nil
+	}
+	return newShardMetrics()
+}
+
+// recordEpisode flushes one finished episode into the accumulator: the
+// outcome, the termination cause, the alert latency, and the kernel and
+// network counters that the episode's Reset will zero before the next
+// run.
+func (m *shardMetrics) recordEpisode(e *episode, res *EpisodeResult) {
+	m.episodes++
+	m.levels[res.Level]++
+	m.terminations[res.Termination]++
+	if res.Delivered {
+		m.alertLatency.Observe(res.DeliveryLatency)
+	}
+
+	ds := e.sim.Stats()
+	m.desScheduled += ds.Scheduled
+	m.desFired += ds.Fired
+	m.desFreeHits += ds.FreelistHits
+	m.desFreeMisses += ds.FreelistMisses
+	if ds.MaxHeapDepth > m.desMaxDepth {
+		m.desMaxDepth = ds.MaxHeapDepth
+	}
+
+	// Both fabrics are crosslink networks: net carries inter-satellite
+	// traffic, ground the alert downlink.
+	for _, st := range [2]struct{ Sent, Delivered, DroppedLoss, DroppedFailSilent int }{
+		e.net.Stats(), e.ground.Stats(),
+	} {
+		m.linkSent += uint64(st.Sent)
+		m.linkDelivered += uint64(st.Delivered)
+		m.linkDroppedLoss += uint64(st.DroppedLoss)
+		m.linkDroppedFails += uint64(st.DroppedFailSilent)
+	}
+}
+
+// merge folds another shard's accumulator into m. Called in shard-index
+// order by the evaluation engines.
+func (m *shardMetrics) merge(o *shardMetrics) {
+	if m == nil || o == nil {
+		return
+	}
+	m.episodes += o.episodes
+	for i := range m.levels {
+		m.levels[i] += o.levels[i]
+	}
+	for i := range m.terminations {
+		m.terminations[i] += o.terminations[i]
+	}
+	for i := range m.traceKinds {
+		m.traceKinds[i] += o.traceKinds[i]
+	}
+	m.desScheduled += o.desScheduled
+	m.desFired += o.desFired
+	m.desFreeHits += o.desFreeHits
+	m.desFreeMisses += o.desFreeMisses
+	if o.desMaxDepth > m.desMaxDepth {
+		m.desMaxDepth = o.desMaxDepth
+	}
+	m.linkSent += o.linkSent
+	m.linkDelivered += o.linkDelivered
+	m.linkDroppedLoss += o.linkDroppedLoss
+	m.linkDroppedFails += o.linkDroppedFails
+	m.alertLatency.Merge(o.alertLatency)
+	m.linkDelay.Merge(o.linkDelay)
+}
+
+// publish registers and adds every metric family into the registry. The
+// full family set is registered even when counts are zero, so snapshots
+// of equal workloads have equal metric sets. Publish is called once per
+// evaluation, after the shard fold, so its cost is off the hot path.
+func (m *shardMetrics) publish(r *obs.Registry) {
+	if m == nil || r == nil {
+		return
+	}
+	r.Counter("oaq_episodes_total", "Signal episodes simulated.").Add(m.episodes)
+	for l, n := range m.levels {
+		r.Counter(fmt.Sprintf("oaq_episode_level_total{level=%q}", qos.Level(l)),
+			"Episode outcomes by achieved QoS level.").Add(n)
+	}
+	for t := int(TermNone); t <= int(TermChainCap); t++ {
+		r.Counter(fmt.Sprintf("oaq_termination_total{cause=%q}", Termination(t)),
+			"Coordination terminations by cause (TC-1/TC-2/TC-3, timeouts, chain cap).").Add(m.terminations[t])
+	}
+	for k := int(TraceDetection); k <= int(TraceAlertReceived); k++ {
+		r.Counter(fmt.Sprintf("oaq_trace_events_total{kind=%q}", TraceKind(k)),
+			"Protocol events by trace kind.").Add(m.traceKinds[k])
+	}
+	r.Counter("oaq_coordination_rounds_total",
+		"Coordination-chain expansions (requests sent to a next-visiting peer).").
+		Add(m.traceKinds[TraceRequestSent])
+	r.Histogram("oaq_alert_latency_minutes",
+		"Alert send latency from initial detection, delivered episodes (simulation minutes).",
+		alertLatencyBounds).AddLocal(m.alertLatency)
+
+	r.Counter("des_events_scheduled_total", "Events scheduled on the simulation kernel.").Add(m.desScheduled)
+	r.Counter("des_events_fired_total", "Events dispatched by the simulation kernel.").Add(m.desFired)
+	r.Counter("des_freelist_hits_total", "Schedules served from the recycled-event pool.").Add(m.desFreeHits)
+	r.Counter("des_freelist_misses_total", "Schedules that allocated a fresh event.").Add(m.desFreeMisses)
+	r.Gauge("des_heap_depth_max", "Peak pending-event count of any episode.").SetMax(int64(m.desMaxDepth))
+
+	r.Counter("crosslink_messages_sent_total", "Crosslink messages sent (requests, done notifications, alerts).").Add(m.linkSent)
+	r.Counter("crosslink_hops_total", "Crosslink hops traversed (each delivered point-to-point message is one hop).").Add(m.linkDelivered)
+	r.Counter("crosslink_dropped_loss_total", "Messages lost to the link-loss process.").Add(m.linkDroppedLoss)
+	r.Counter("crosslink_dropped_failsilent_total", "Messages swallowed by fail-silent endpoints.").Add(m.linkDroppedFails)
+	r.Histogram("crosslink_delivery_delay_minutes",
+		"Inter-satellite message delivery delay (simulation minutes).",
+		linkDelayBounds).AddLocal(m.linkDelay)
+}
+
+// note counts one protocol event by kind. It is the metric counterpart
+// of trace: called unconditionally at every event site, it costs a nil
+// check when metrics are disabled and a plain array increment when
+// enabled — never an allocation, never an atomic.
+func (e *episode) note(kind TraceKind) {
+	if e.obs != nil {
+		e.obs.traceKinds[kind]++
+	}
+}
+
+// setMetrics attaches a shard accumulator to the runner's episode state
+// (nil detaches), including the crosslink delay histogram hook.
+func (r *episodeRunner) setMetrics(m *shardMetrics) {
+	r.ep.obs = m
+	if m != nil {
+		r.ep.net.SetDelayHistogram(m.linkDelay)
+	} else {
+		r.ep.net.SetDelayHistogram(nil)
+	}
+}

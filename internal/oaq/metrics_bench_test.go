@@ -1,0 +1,55 @@
+package oaq
+
+import (
+	"fmt"
+	"testing"
+
+	"satqos/internal/obs"
+	"satqos/internal/qos"
+)
+
+// BenchmarkEvaluateParallelMetrics measures the instrumentation tax of
+// the metrics layer on the parallel Monte-Carlo: the metrics=off rows
+// are the PR-1 baseline (nil registry, every hook a nil check), the
+// metrics=on rows add the per-shard accumulators and the single
+// publish into a shared registry. The acceptance budget is <= 3%.
+func BenchmarkEvaluateParallelMetrics(b *testing.B) {
+	const episodes = 4096
+	for _, enabled := range []bool{false, true} {
+		name := "metrics=off"
+		if enabled {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := ReferenceParams(10, qos.SchemeOAQ)
+			if enabled {
+				p.Metrics = obs.NewRegistry()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EvaluateParallel(p, episodes, uint64(i+1), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateParallelMetricsWorkers checks that the per-shard
+// design keeps the enabled-path overhead flat as workers scale (no
+// shared atomics on the episode hot path).
+func BenchmarkEvaluateParallelMetricsWorkers(b *testing.B) {
+	const episodes = 4096
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := ReferenceParams(10, qos.SchemeOAQ)
+			p.Metrics = obs.NewRegistry()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EvaluateParallel(p, episodes, uint64(i+1), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

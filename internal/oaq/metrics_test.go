@@ -1,0 +1,174 @@
+package oaq
+
+import (
+	"bytes"
+	"testing"
+
+	"satqos/internal/obs"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// TestMetricsSnapshotWorkerInvariant is the PR's determinism criterion
+// for instrumentation: the published metric snapshot of a fixed-seed
+// evaluation must be byte-identical at 1, 4, and 8 workers, exactly
+// like the evaluation result itself.
+func TestMetricsSnapshotWorkerInvariant(t *testing.T) {
+	const episodes, seed = 3000, 7
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		p := ReferenceParams(6, qos.SchemeOAQ)
+		p.Metrics = obs.NewRegistry()
+		if _, err := EvaluateParallel(p, episodes, seed, workers); err != nil {
+			t.Fatal(err)
+		}
+		js, err := p.Metrics.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = js
+			continue
+		}
+		if !bytes.Equal(ref, js) {
+			t.Fatalf("metric snapshot at %d workers differs from 1 worker:\n%s\n---\n%s", workers, ref, js)
+		}
+	}
+}
+
+// TestMetricsMatchEvaluation cross-checks the published counters
+// against the evaluation aggregate they instrument.
+func TestMetricsMatchEvaluation(t *testing.T) {
+	const episodes, seed = 2048, 11
+	p := ReferenceParams(4, qos.SchemeOAQ)
+	p.Metrics = obs.NewRegistry()
+	ev, err := EvaluateParallel(p, episodes, seed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Metrics.Snapshot()
+	counter := func(name string) uint64 {
+		t.Helper()
+		m := snap.Get(name)
+		if m == nil || m.Value == nil {
+			t.Fatalf("metric %q missing from snapshot", name)
+		}
+		return uint64(*m.Value)
+	}
+	if got := counter("oaq_episodes_total"); got != episodes {
+		t.Errorf("oaq_episodes_total = %d, want %d", got, episodes)
+	}
+	var levelSum uint64
+	for l := 0; l < qos.NumLevels; l++ {
+		levelSum += counter(`oaq_episode_level_total{level="` + qos.Level(l).String() + `"}`)
+	}
+	if levelSum != episodes {
+		t.Errorf("level counters sum to %d, want %d", levelSum, episodes)
+	}
+	wantDetections := uint64(float64(episodes) * ev.DetectedFraction)
+	if got := counter(`oaq_trace_events_total{kind="detection"}`); got != wantDetections {
+		t.Errorf("detection events = %d, want %d (DetectedFraction)", got, wantDetections)
+	}
+	wantDelivered := uint64(float64(episodes)*ev.DeliveredFraction + 0.5)
+	lat := snap.Get("oaq_alert_latency_minutes")
+	if lat == nil || lat.Count == nil {
+		t.Fatal("alert-latency histogram missing")
+	}
+	if *lat.Count != wantDelivered {
+		t.Errorf("alert-latency observations = %d, want %d (delivered episodes)", *lat.Count, wantDelivered)
+	}
+	var termSum uint64
+	for term := TermNone; term <= TermChainCap; term++ {
+		termSum += counter(`oaq_termination_total{cause="` + term.String() + `"}`)
+	}
+	if termSum != episodes {
+		t.Errorf("termination counters sum to %d, want %d", termSum, episodes)
+	}
+	// The des and crosslink families must be live for a real workload.
+	if got := counter("des_events_fired_total"); got == 0 {
+		t.Error("des_events_fired_total is zero")
+	}
+	if got := counter("crosslink_messages_sent_total"); got == 0 {
+		t.Error("crosslink_messages_sent_total is zero")
+	}
+	if d := snap.Get("des_heap_depth_max"); d == nil || d.Value == nil || *d.Value <= 0 {
+		t.Error("des_heap_depth_max missing or zero")
+	}
+}
+
+// TestMetricsDoNotPerturbResults: enabling metrics must not change the
+// evaluation outcome (instrumentation never touches the RNG).
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	const episodes, seed = 2048, 3
+	p := ReferenceParams(6, qos.SchemeOAQ)
+	plain, err := EvaluateParallel(p, episodes, seed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Metrics = obs.NewRegistry()
+	metered, err := EvaluateParallel(p, episodes, seed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PMF != metered.PMF ||
+		plain.MeanDeliveryLatency != metered.MeanDeliveryLatency ||
+		plain.MeanMessages != metered.MeanMessages {
+		t.Fatalf("metrics perturbed the evaluation:\nplain:   %+v\nmetered: %+v", plain, metered)
+	}
+}
+
+// TestEpisodeMetricsZeroAlloc is the satellite-task allocation guard:
+// the per-episode metric hooks allocate nothing — with metrics disabled
+// (nil registry) AND with metrics enabled, the episode's allocation
+// count is identical, because the hooks are plain field increments and
+// LocalHistogram.Observe is allocation-free. Identical seeds replay the
+// identical episode, so the comparison is exact.
+func TestEpisodeMetricsZeroAlloc(t *testing.T) {
+	const seed = 5
+	p := ReferenceParams(6, qos.SchemeOAQ)
+	perEpisode := func(m *shardMetrics) float64 {
+		rng := stats.NewRNG(seed, 0)
+		r, err := newEpisodeRunner(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.setMetrics(m)
+		// Warm the runner's pools so steady-state episodes are measured.
+		for i := 0; i < 64; i++ {
+			r.run()
+		}
+		return testing.AllocsPerRun(200, func() {
+			rng.Reseed(seed, 1)
+			r.run()
+		})
+	}
+	off := perEpisode(nil)
+	on := perEpisode(newShardMetrics())
+	if on != off {
+		t.Fatalf("metric hooks allocate: %v allocs/episode enabled vs %v disabled", on, off)
+	}
+}
+
+// TestPairedMetricsPublishPerConfig checks the paired engine publishes
+// each configuration's families into its own registry.
+func TestPairedMetricsPublishPerConfig(t *testing.T) {
+	a := ReferenceParams(6, qos.SchemeOAQ)
+	b := ReferenceParams(6, qos.SchemeBAQ)
+	a.Metrics = obs.NewRegistry()
+	b.Metrics = obs.NewRegistry()
+	const episodes = 512
+	pc, err := EvaluatePairedParallel(a, b, episodes, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Episodes != episodes {
+		t.Fatalf("episodes = %d, want %d", pc.Episodes, episodes)
+	}
+	for name, r := range map[string]*obs.Registry{"A": a.Metrics, "B": b.Metrics} {
+		snap := r.Snapshot()
+		m := snap.Get("oaq_episodes_total")
+		if m == nil || m.Value == nil || *m.Value != episodes {
+			t.Errorf("config %s: oaq_episodes_total = %+v, want %d", name, m, episodes)
+		}
+	}
+}

@@ -80,19 +80,26 @@ func EvaluatePairedParallel(a, b Params, episodes int, seed uint64, workers int)
 		return nil, fmt.Errorf("oaq: paired configs must share the signal-duration distribution")
 	}
 
-	pt, err := parallel.MonteCarlo(workers, episodes, 0,
-		func(s parallel.Shard) (*pairedTally, error) {
+	type shardOut struct {
+		t      *pairedTally
+		ma, mb *shardMetrics
+	}
+	out, err := parallel.MonteCarlo(workers, episodes, 0,
+		func(s parallel.Shard) (shardOut, error) {
 			rngA := stats.NewRNG(seed, uint64(s.Start))
 			rngB := stats.NewRNG(seed, uint64(s.Start))
 			ra, err := newEpisodeRunner(a, rngA)
 			if err != nil {
-				return nil, fmt.Errorf("oaq: config A: %w", err)
+				return shardOut{}, fmt.Errorf("oaq: config A: %w", err)
 			}
 			rb, err := newEpisodeRunner(b, rngB)
 			if err != nil {
-				return nil, fmt.Errorf("oaq: config B: %w", err)
+				return shardOut{}, fmt.Errorf("oaq: config B: %w", err)
 			}
-			t := &pairedTally{}
+			o := shardOut{t: &pairedTally{}, ma: maybeShardMetrics(a.Metrics), mb: maybeShardMetrics(b.Metrics)}
+			ra.setMetrics(o.ma)
+			rb.setMetrics(o.mb)
+			t := o.t
 			for i := 0; i < s.Count; i++ {
 				// One substream per episode, replayed for both
 				// configurations: the signal placement and duration draws
@@ -115,19 +122,24 @@ func EvaluatePairedParallel(a, b Params, episodes int, seed uint64, workers int)
 					t.losses++
 				}
 			}
-			return t, nil
+			return o, nil
 		},
-		func(acc, part *pairedTally) *pairedTally {
-			if acc == nil {
+		func(acc, part shardOut) shardOut {
+			if acc.t == nil {
 				return part
 			}
-			acc.merge(part)
+			acc.t.merge(part.t)
+			acc.ma.merge(part.ma)
+			acc.mb.merge(part.mb)
 			return acc
 		})
 	if err != nil {
 		return nil, err
 	}
+	out.ma.publish(a.Metrics)
+	out.mb.publish(b.Metrics)
 
+	pt := out.t
 	mean := pt.diffSum / float64(episodes)
 	variance := pt.diffSq/float64(episodes) - mean*mean
 	if variance < 0 {

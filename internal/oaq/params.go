@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 
+	"satqos/internal/obs"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -96,6 +97,16 @@ type Params struct {
 	// Trace, when non-nil, receives every protocol event of the episode
 	// (see RunEpisodeTraced for the collecting convenience).
 	Trace func(TraceEvent)
+	// Metrics, when non-nil, receives the evaluation's metric families
+	// (episode outcomes, termination causes, per-kind protocol event
+	// counts, alert-latency and crosslink-delay histograms, DES kernel
+	// counters) in one publish at the end of the run. Instrumentation
+	// never reads the RNG and accumulates per shard, merging in shard
+	// order, so enabling metrics changes neither the results nor their
+	// bit-identical-at-any-worker-count property — and the published
+	// snapshot is itself identical for any worker count. Nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 // DefaultErrorModel is the estimated-error curve used when none is

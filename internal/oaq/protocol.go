@@ -68,6 +68,9 @@ type episode struct {
 	net    *crosslink.Network
 	ground *crosslink.Network
 	rng    *stats.RNG
+	// obs is the shard's metric accumulator (nil when metrics are
+	// disabled; see metrics.go).
+	obs *shardMetrics
 
 	l1, tc          float64
 	sigStart        float64
@@ -171,6 +174,7 @@ func (e *episode) recordAlert(msg crosslink.Message) {
 	if !ok {
 		return
 	}
+	e.note(TraceAlertReceived)
 	if msg.SentAt > e.deadline+1e-12 {
 		if e.tracing() {
 			e.trace(e.sim.Now(), -1, TraceAlertReceived, "LATE alert (level %v) discarded", pay.level)
@@ -201,6 +205,7 @@ func (s *satellite) sendAlert(level qos.Level, passes int) {
 		return
 	}
 	s.sentAlert = true
+	s.ep.note(TraceAlertSent)
 	if s.ep.tracing() {
 		s.ep.trace(s.ep.sim.Now(), s.id, TraceAlertSent, "level %v from %d fused passes", level, passes)
 	}
@@ -217,6 +222,7 @@ func (s *satellite) sendDone() {
 	if !s.ep.p.BackwardMessaging || !s.hasRequest {
 		return
 	}
+	s.ep.note(TraceDoneSent)
 	if s.ep.tracing() {
 		s.ep.trace(s.ep.sim.Now(), s.id, TraceDoneSent, "to S%d", int(s.requestFrom))
 	}
@@ -235,6 +241,7 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		s.requestFrom = msg.From
 		s.ordinal = pay.ordinal
 		s.inherited = alertPayload{level: pay.inherited, passes: pay.passes, t0: pay.t0}
+		s.ep.note(TraceRequestReceived)
 		if s.ep.tracing() {
 			s.ep.trace(now, s.id, TraceRequestReceived, "ordinal n=%d, inherited level %v", pay.ordinal, pay.inherited)
 		}
@@ -250,6 +257,7 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		}
 	case kindDone:
 		s.doneFrom = true
+		s.ep.note(TraceDoneReceived)
 		if s.ep.tracing() {
 			s.ep.trace(now, s.id, TraceDoneReceived, "from S%d", int(msg.From))
 		}
@@ -267,6 +275,7 @@ func (s *satellite) scheduleAttempt(now float64) {
 		if s.ep.net.FailSilent(s.node) {
 			return
 		}
+		s.ep.note(TracePassArrival)
 		if s.ep.tracing() {
 			s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
 		}
@@ -278,6 +287,7 @@ func (s *satellite) scheduleAttempt(now float64) {
 				}
 				s.passes = s.inherited.passes + 1
 				s.level = qos.LevelSequentialDual
+				s.ep.note(TraceComputationDone)
 				if s.ep.tracing() {
 					s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
 				}
@@ -286,6 +296,7 @@ func (s *satellite) scheduleAttempt(now float64) {
 			return
 		}
 		// TC-3: the signal stopped before this footprint arrived.
+		s.ep.note(TraceSignalLost)
 		if s.ep.tracing() {
 			s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
 		}
@@ -337,6 +348,7 @@ func (s *satellite) evaluate(now float64) {
 		}
 	}
 	s.forwarded = true
+	e.note(TraceRequestSent)
 	if e.tracing() {
 		e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
 	}
@@ -358,6 +370,7 @@ func (s *satellite) evaluate(now float64) {
 			if s.doneFrom || s.sentAlert || e.net.FailSilent(s.node) {
 				return
 			}
+			e.note(TraceTimeout)
 			if e.tracing() {
 				e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
 			}
@@ -474,12 +487,16 @@ func (r *episodeRunner) run() EpisodeResult {
 		nextPass := math.Ceil(e.sigStart/e.l1) * e.l1
 		if nextPass >= e.sigEnd {
 			// The target escaped surveillance: level 0.
-			return EpisodeResult{
+			res := EpisodeResult{
 				Level:           qos.LevelMiss,
 				DetectionDelay:  math.NaN(),
 				DeliveryLatency: math.NaN(),
 				Termination:     TermNone,
 			}
+			if e.obs != nil {
+				e.obs.recordEpisode(e, &res)
+			}
+			return res
 		}
 		e.t0 = nextPass
 		detectionDelay = e.t0 - e.sigStart
@@ -511,6 +528,9 @@ func (r *episodeRunner) run() EpisodeResult {
 	} else {
 		res.Level = qos.LevelMiss
 	}
+	if e.obs != nil {
+		e.obs.recordEpisode(e, &res)
+	}
 	return res
 }
 
@@ -521,13 +541,18 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 	if err != nil {
 		return EpisodeResult{}, err
 	}
-	return r.run(), nil
+	m := maybeShardMetrics(p.Metrics)
+	r.setMetrics(m)
+	res := r.run()
+	m.publish(p.Metrics)
+	return res, nil
 }
 
 // onDetection implements the scheme-dependent first response of the
 // satellite(s) covering the target at t0.
 func (e *episode) onDetection(covering []int, overlap bool) {
 	defer func() { e.failRollArmed = true }()
+	e.note(TraceDetection)
 	if e.tracing() {
 		e.trace(e.t0, covering[len(covering)-1], TraceDetection,
 			"covered by %d footprint(s); deadline τ expires at +%.1f", len(covering), e.p.TauMin)
@@ -553,6 +578,7 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 	case e.p.Scheme == qos.SchemeBAQ:
 		// Deliver after the initial computation, no waiting.
 		e.sim.Schedule(h1, "initial-computation", func(t float64) {
+			e.note(TraceComputationDone)
 			if e.tracing() {
 				e.trace(t, s1.id, TraceComputationDone, "initial computation")
 			}
@@ -564,6 +590,7 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 		// OAQ, overlapping regime: withhold the preliminary result and
 		// wait for the overlapped footprints (§3.1).
 		e.sim.Schedule(h1, "initial-computation", func(t float64) {
+			e.note(TraceComputationDone)
 			if e.tracing() {
 				e.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
 			}
@@ -571,6 +598,7 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 		tBeta := float64(s1.id+1) * e.l1
 		if tBeta <= e.deadline {
 			e.sim.ScheduleAt(tBeta, "overlap-arrival", func(now float64) {
+				e.note(TracePassArrival)
 				if e.tracing() {
 					e.trace(now, s1.id+1, TracePassArrival,
 						"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
@@ -581,6 +609,7 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 				}
 				// The signal stopped before simultaneous coverage: no
 				// further opportunity; release the preliminary result.
+				e.note(TraceSignalLost)
 				e.noteTermination(TermSignalLost)
 				s1.sendAlert(qos.LevelSingle, 1)
 			})
@@ -591,6 +620,7 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 		// OAQ, underlapping regime: iterative sequential localization
 		// along the coordination chain (§3.2).
 		e.sim.Schedule(h1, "initial-computation", func(now float64) {
+			e.note(TraceComputationDone)
 			if e.tracing() {
 				e.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
 			}
@@ -612,6 +642,7 @@ func (e *episode) jointComputation(s *satellite, passes int) {
 	e.sim.Schedule(h, "joint-computation", func(t float64) {
 		s.passes = passes
 		s.level = qos.LevelSimultaneousDual
+		e.note(TraceComputationDone)
 		if e.tracing() {
 			e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
 		}
@@ -627,6 +658,7 @@ func (e *episode) jointComputation(s *satellite, passes int) {
 func (e *episode) armPreliminaryGuard(s *satellite) {
 	e.sim.ScheduleAt(e.deadline, "preliminary-guard", func(t float64) {
 		if !s.sentAlert && !s.forwarded && !e.net.FailSilent(s.node) {
+			e.note(TraceTimeout)
 			if e.tracing() {
 				e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
 			}

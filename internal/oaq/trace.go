@@ -104,8 +104,10 @@ func (e *episode) trace(t float64, sat int, kind TraceKind, format string, args 
 }
 
 // RunEpisodeTraced runs one episode with tracing enabled and returns
-// the outcome together with the ordered event timeline (times are
-// rebased so the signal's occurrence is t = 0).
+// the outcome together with the ordered event timeline. Times are
+// rebased so the initial detection (the first TraceDetection event —
+// the protocol's t0) is t = 0; if the timeline contains no detection
+// event, the first event anchors the rebase instead.
 func RunEpisodeTraced(p Params, rng *stats.RNG) (EpisodeResult, []TraceEvent, error) {
 	var events []TraceEvent
 	p.Trace = func(ev TraceEvent) { events = append(events, ev) }
@@ -114,8 +116,17 @@ func RunEpisodeTraced(p Params, rng *stats.RNG) (EpisodeResult, []TraceEvent, er
 		return EpisodeResult{}, nil, err
 	}
 	if len(events) > 0 {
-		// Rebase to the first event (the detection or the signal start).
+		// Anchor the rebase at the detection event explicitly rather
+		// than trusting event order: simultaneous events fire in
+		// schedule order, so the detection is not structurally
+		// guaranteed to be first.
 		base := events[0].Time
+		for _, ev := range events {
+			if ev.Kind == TraceDetection {
+				base = ev.Time
+				break
+			}
+		}
 		for i := range events {
 			events[i].Time -= base
 		}

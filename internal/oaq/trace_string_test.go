@@ -1,0 +1,55 @@
+package oaq
+
+import (
+	"strings"
+	"testing"
+)
+
+// allTraceKinds enumerates every declared kind; the compile-time
+// bounds (first and last constant) keep the list honest.
+var allTraceKinds = []TraceKind{
+	TraceDetection,
+	TraceComputationDone,
+	TraceRequestSent,
+	TraceRequestReceived,
+	TracePassArrival,
+	TraceSignalLost,
+	TraceDoneSent,
+	TraceDoneReceived,
+	TraceTimeout,
+	TraceAlertSent,
+	TraceAlertReceived,
+}
+
+func TestTraceKindStringRoundTrip(t *testing.T) {
+	if len(allTraceKinds) != int(TraceAlertReceived-TraceDetection)+1 {
+		t.Fatalf("allTraceKinds lists %d kinds, declaration range has %d",
+			len(allTraceKinds), int(TraceAlertReceived-TraceDetection)+1)
+	}
+	byName := make(map[string]TraceKind, len(allTraceKinds))
+	for _, k := range allTraceKinds {
+		s := k.String()
+		if s == "" {
+			t.Errorf("kind %d has empty String()", int(k))
+		}
+		if strings.HasPrefix(s, "TraceKind(") {
+			t.Errorf("declared kind %d fell through to the default branch: %q", int(k), s)
+		}
+		if prev, dup := byName[s]; dup {
+			t.Errorf("kinds %d and %d share the string %q", int(prev), int(k), s)
+		}
+		byName[s] = k
+	}
+	// Round trip: every name maps back to exactly its kind.
+	for _, k := range allTraceKinds {
+		if got := byName[k.String()]; got != k {
+			t.Errorf("round trip of %v gave %v", k, got)
+		}
+	}
+	// Unknown values hit the default branch, for both out-of-range sides.
+	for _, bad := range []TraceKind{0, TraceAlertReceived + 1, -3} {
+		if got := bad.String(); !strings.HasPrefix(got, "TraceKind(") {
+			t.Errorf("TraceKind(%d).String() = %q, want default-branch form", int(bad), got)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the stable JSON form of a registry: metrics sorted by
+// name with a fixed field order, so two snapshots of equal registries
+// are byte-identical — diffable across PRs and assertable in tests.
+type Snapshot struct {
+	Metrics []SnapshotMetric `json:"metrics"`
+}
+
+// SnapshotMetric is one metric in a Snapshot. Value is set for counters
+// and gauges; Count, Sum, and Buckets for histograms.
+type SnapshotMetric struct {
+	Name    string           `json:"name"`
+	Type    string           `json:"type"`
+	Help    string           `json:"help,omitempty"`
+	Value   *float64         `json:"value,omitempty"`
+	Count   *uint64          `json:"count,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+}
+
+// SnapshotBucket is one histogram bucket; LE is the inclusive upper
+// bound ("+Inf" for the overflow bucket).
+type SnapshotBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Get returns the named metric of the snapshot, or nil.
+func (s *Snapshot) Get(name string) *SnapshotMetric {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the registry's current state. Nil receiver: an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Metrics: []SnapshotMetric{}}
+	}
+	ms := r.metrics()
+	out := Snapshot{Metrics: make([]SnapshotMetric, 0, len(ms))}
+	for _, m := range ms {
+		sm := SnapshotMetric{Name: m.name, Type: m.kind.String(), Help: m.help}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.c.Value())
+			sm.Value = &v
+		case kindGauge:
+			v := float64(m.g.Value())
+			sm.Value = &v
+		case kindHistogram:
+			count := m.h.Count()
+			sum := m.h.Sum()
+			sm.Count, sm.Sum = &count, &sum
+			for i := range m.h.counts {
+				le := "+Inf"
+				if i < len(m.h.bounds) {
+					le = formatFloat(m.h.bounds[i])
+				}
+				sm.Buckets = append(sm.Buckets, SnapshotBucket{LE: le, Count: m.h.counts[i].Load()})
+			}
+		}
+		out.Metrics = append(out.Metrics, sm)
+	}
+	return out
+}
+
+// JSON returns the indented JSON snapshot.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// WriteJSON writes the JSON snapshot followed by a newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DumpJSON writes the JSON snapshot to the named file, or to stdout
+// when path is "-". It backs the CLIs' -metrics flag.
+func (r *Registry) DumpJSON(path string, stdout io.Writer) error {
+	if path == "-" {
+		return r.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Metrics whose names share a base name (the
+// part before any `{label}` block) are grouped under one HELP/TYPE
+// header. Nil receiver: writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastBase := ""
+	for _, m := range r.metrics() {
+		base := m.name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base != lastBase {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, m.kind); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case kindHistogram:
+			err = writePrometheusHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram emits the cumulative _bucket/_sum/_count
+// series of one histogram.
+func writePrometheusHistogram(w io.Writer, m *metric) error {
+	var cum uint64
+	for i := range m.h.counts {
+		cum += m.h.counts[i].Load()
+		le := "+Inf"
+		if i < len(m.h.bounds) {
+			le = formatFloat(m.h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, cum)
+	return err
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

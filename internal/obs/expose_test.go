@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("des_events_fired_total", "Events dispatched.").Add(42)
+	r.Gauge("des_heap_depth_max", "Peak pending-event count.").SetMax(7)
+	h := r.Histogram("oaq_alert_latency_minutes", "Alert latency.", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(30)
+	r.Counter(`oaq_trace_events_total{kind="timeout"}`, "Trace events by kind.").Add(3)
+	r.Counter(`oaq_trace_events_total{kind="detection"}`, "Trace events by kind.").Add(9)
+	return r
+}
+
+func TestSnapshotStable(t *testing.T) {
+	a, err := exampleRegistry().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exampleRegistry().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots of equal registries differ:\n%s\n---\n%s", a, b)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(a, &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	c := snap.Get("des_events_fired_total")
+	if c == nil || c.Type != "counter" || c.Value == nil || *c.Value != 42 {
+		t.Fatalf("counter snapshot wrong: %+v", c)
+	}
+	hm := snap.Get("oaq_alert_latency_minutes")
+	if hm == nil || hm.Type != "histogram" {
+		t.Fatalf("histogram snapshot missing: %+v", hm)
+	}
+	if *hm.Count != 3 || *hm.Sum != 33.5 {
+		t.Fatalf("histogram count/sum = %d/%g, want 3/33.5", *hm.Count, *hm.Sum)
+	}
+	if len(hm.Buckets) != 3 || hm.Buckets[2].LE != "+Inf" || hm.Buckets[2].Count != 1 {
+		t.Fatalf("histogram buckets wrong: %+v", hm.Buckets)
+	}
+	if snap.Get("no_such_metric") != nil {
+		t.Fatal("Get of unknown metric must be nil")
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	snap := exampleRegistry().Snapshot()
+	for i := 1; i < len(snap.Metrics); i++ {
+		if snap.Metrics[i-1].Name >= snap.Metrics[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap.Metrics[i-1].Name, snap.Metrics[i].Name)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exampleRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE des_events_fired_total counter",
+		"des_events_fired_total 42",
+		"# TYPE des_heap_depth_max gauge",
+		"des_heap_depth_max 7",
+		"# TYPE oaq_alert_latency_minutes histogram",
+		`oaq_alert_latency_minutes_bucket{le="1"} 1`,
+		`oaq_alert_latency_minutes_bucket{le="5"} 2`,
+		`oaq_alert_latency_minutes_bucket{le="+Inf"} 3`,
+		"oaq_alert_latency_minutes_sum 33.5",
+		"oaq_alert_latency_minutes_count 3",
+		`oaq_trace_events_total{kind="detection"} 9`,
+		`oaq_trace_events_total{kind="timeout"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The two labelled series share one base name — exactly one TYPE line.
+	if got := strings.Count(out, "# TYPE oaq_trace_events_total counter"); got != 1 {
+		t.Errorf("labelled family has %d TYPE headers, want 1:\n%s", got, out)
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	r := exampleRegistry()
+	var stdout bytes.Buffer
+	if err := r.DumpJSON("-", &stdout); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("stdout dump does not parse: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := r.DumpJSON(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, stdout.Bytes()) {
+		t.Fatal("file dump differs from stdout dump")
+	}
+}

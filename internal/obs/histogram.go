@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution: cumulative-style bucket
+// counts over explicit upper bounds plus an overflow (+Inf) bucket, a
+// float sum, and a total count. Observations are atomic, so concurrent
+// observers are safe; note that concurrent float-sum updates commute
+// only approximately (CAS-add order is scheduler-dependent), which is
+// why the deterministic engines accumulate into per-shard
+// LocalHistograms and publish once in shard order instead.
+//
+// All methods are no-ops (or zero) on a nil receiver.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+}
+
+// validateBounds panics unless the upper bounds are finite, non-empty,
+// and strictly increasing — histogram construction is wiring, and a bad
+// bucket layout is a programming error.
+func validateBounds(bounds []float64) {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: non-finite bucket bound %g", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: bucket bounds not strictly increasing at %g", b))
+		}
+	}
+}
+
+// NewHistogram builds a histogram over the given upper bounds (the
+// overflow bucket is implicit). The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	validateBounds(bounds)
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// bucketIndex returns the index of the first bound >= v (the overflow
+// bucket when none is). Bucket arrays here are small (tens of bounds at
+// most), so a linear scan beats binary search in practice.
+func bucketIndex(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Reset zeroes counts and sum, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// AddLocal folds a per-shard LocalHistogram into h. The local histogram
+// must have been created over the same bounds; a mismatch is a wiring
+// bug and panics. Calling AddLocal once per shard, in shard order, keeps
+// the float sum identical to a sequential run's.
+func (h *Histogram) AddLocal(l *LocalHistogram) {
+	if h == nil || l == nil {
+		return
+	}
+	if len(l.counts) != len(h.counts) {
+		panic(fmt.Sprintf("obs: AddLocal bucket mismatch: %d vs %d", len(l.counts)-1, len(h.counts)-1))
+	}
+	for i, n := range l.counts {
+		if n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(l.sum)
+}
+
+// merge folds another Histogram (same layout) into h; used by
+// Registry.Merge.
+func (h *Histogram) merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	if len(o.counts) != len(h.counts) {
+		panic(fmt.Sprintf("obs: merge bucket mismatch: %d vs %d", len(o.counts)-1, len(h.counts)-1))
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+}
+
+// LocalHistogram is the single-goroutine counterpart of Histogram: plain
+// fields, no atomics, no locks. Each Monte-Carlo shard owns its locals
+// and the engine folds them in shard order (Merge) before one AddLocal
+// into the shared registry — the pattern that keeps metric snapshots
+// bit-identical at any worker count. Observe performs no allocations.
+type LocalHistogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+}
+
+// NewLocalHistogram builds a local histogram over the given upper
+// bounds. The bounds slice is retained (not copied): shards share one
+// package-level bounds slice so their locals are mergeable by
+// construction.
+func NewLocalHistogram(bounds []float64) *LocalHistogram {
+	validateBounds(bounds)
+	return &LocalHistogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (l *LocalHistogram) Observe(v float64) {
+	if l == nil {
+		return
+	}
+	l.counts[bucketIndex(l.bounds, v)]++
+	l.sum += v
+}
+
+// Count returns the total number of observations.
+func (l *LocalHistogram) Count() uint64 {
+	if l == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range l.counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (l *LocalHistogram) Sum() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.sum
+}
+
+// Merge folds another local histogram (same bucket layout) into l.
+func (l *LocalHistogram) Merge(o *LocalHistogram) {
+	if l == nil || o == nil {
+		return
+	}
+	if len(o.counts) != len(l.counts) {
+		panic(fmt.Sprintf("obs: Merge bucket mismatch: %d vs %d", len(o.counts)-1, len(l.counts)-1))
+	}
+	for i, n := range o.counts {
+		l.counts[i] += n
+	}
+	l.sum += o.sum
+}
+
+// atomicFloat is a float64 with atomic add via CAS on its bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// DurationBuckets is the default bucket layout for wall-clock seconds:
+// half-decade steps from 100µs to 100s. Callers must not mutate it.
+var DurationBuckets = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// MinuteBuckets is the default bucket layout for simulated minutes
+// (alert latencies, crosslink delays under the paper's τ = 5 scale).
+// Callers must not mutate it.
+var MinuteBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 1.5, 2, 3, 4, 5, 7.5, 10}

@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"time"
+
+	"satqos/internal/obs"
+)
+
+// Engine instrumentation publishes into the process-global registry:
+// these are wall-clock observations (busy time, queue wait), inherently
+// nondeterministic, so they are kept out of the per-evaluation
+// registries whose snapshots are bit-identical at any worker count.
+// Registration happens once at package init; per-task cost is two clock
+// reads and three atomic updates, negligible at shard granularity.
+var (
+	taskCount = obs.Default().Counter("parallel_tasks_total",
+		"Tasks executed by the worker-pool map (sweep points, Monte-Carlo shards).")
+	shardCount = obs.Default().Counter("parallel_shards_total",
+		"Monte-Carlo shards completed.")
+	busyHist = obs.Default().Histogram("parallel_task_busy_seconds",
+		"Wall-clock busy time of one task.", obs.DurationBuckets)
+	waitHist = obs.Default().Histogram("parallel_task_queue_wait_seconds",
+		"Wall-clock delay from map start to task start.", obs.DurationBuckets)
+	workersMax = obs.Default().Gauge("parallel_workers_max",
+		"Largest effective worker count used by any map.")
+)
+
+// runTask executes one task with timing instrumentation. start is the
+// enclosing Map's start time; the gap to the task's own start is the
+// queueing delay behind earlier tasks.
+func runTask(start time.Time, fn func(i int) error, i int) error {
+	begin := time.Now()
+	waitHist.Observe(begin.Sub(start).Seconds())
+	err := fn(i)
+	busyHist.Observe(time.Since(begin).Seconds())
+	taskCount.Inc()
+	return err
+}

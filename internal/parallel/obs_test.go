@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"testing"
+)
+
+func TestEngineInstrumentation(t *testing.T) {
+	tasksBefore := taskCount.Value()
+	shardsBefore := shardCount.Value()
+	busyBefore := busyHist.Count()
+	waitBefore := waitHist.Count()
+
+	got, err := MonteCarlo(4, 2500, 1000,
+		func(s Shard) (int, error) { return s.Count, nil },
+		func(acc, part int) int { return acc + part })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2500 {
+		t.Fatalf("MonteCarlo sum = %d, want 2500", got)
+	}
+
+	if d := taskCount.Value() - tasksBefore; d != 3 {
+		t.Errorf("parallel_tasks_total advanced by %d, want 3", d)
+	}
+	if d := shardCount.Value() - shardsBefore; d != 3 {
+		t.Errorf("parallel_shards_total advanced by %d, want 3", d)
+	}
+	if d := busyHist.Count() - busyBefore; d != 3 {
+		t.Errorf("busy histogram observed %d tasks, want 3", d)
+	}
+	if d := waitHist.Count() - waitBefore; d != 3 {
+		t.Errorf("queue-wait histogram observed %d tasks, want 3", d)
+	}
+	if workersMax.Value() < 3 {
+		t.Errorf("parallel_workers_max = %d, want >= 3", workersMax.Value())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers is the default parallelism: GOMAXPROCS.
@@ -42,10 +43,12 @@ func Map(workers, n int, fn func(i int) error) error {
 	if workers = Normalize(workers); workers > n {
 		workers = n
 	}
+	workersMax.SetMax(int64(workers))
+	start := time.Now()
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := runTask(start, fn, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -63,7 +66,7 @@ func Map(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runTask(start, fn, i)
 			}
 		}()
 	}

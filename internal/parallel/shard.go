@@ -63,6 +63,7 @@ func MonteCarlo[T any](workers, episodes, shardSize int, run func(s Shard) (T, e
 	if err != nil {
 		return acc, err
 	}
+	shardCount.Add(uint64(len(shards)))
 	for _, part := range parts {
 		acc = merge(acc, part)
 	}
