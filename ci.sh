@@ -2,9 +2,12 @@
 # Tier-1 gate: everything must build, be gofmt-clean, pass vet, and
 # pass the full test suite under the race detector (the parallel
 # evaluation engine, sweep drivers, and mission batch all exercise
-# their concurrent paths in their package tests). The final step is an
-# observability smoke test: a short bench run must emit a JSON metrics
-# snapshot that parses and contains the core metric families.
+# their concurrent paths in their package tests). Then two smoke
+# tests: a short bench run must emit a JSON metrics snapshot that
+# parses and contains the core metric families, and a faulted protocol
+# run (scripted fail-silent windows + loss burst + retransmission)
+# must produce bit-identical metrics snapshots at two worker counts —
+# the determinism gate for the fault-injection path.
 set -eux
 
 go build ./...
@@ -20,3 +23,15 @@ go test -race ./...
 
 go run ./cmd/oaqbench -exp fig9,simvsana -episodes 256 -metrics - |
     go run ./cmd/metricscheck des oaq crosslink parallel capacity
+
+# Fault-scenario smoke under -race, plus the determinism gate: the same
+# faulted workload at 1 and 7 workers must dump identical simulation
+# metrics (wall-clock families are exempted by metricscheck's default
+# -ignore pattern).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run -race ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
+    -faults cmd/constsim/testdata/faults.json -workers 1 -metrics "$tmpdir/w1.json"
+go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
+    -faults cmd/constsim/testdata/faults.json -workers 7 -metrics "$tmpdir/w7.json"
+go run ./cmd/metricscheck -in "$tmpdir/w1.json" -diff "$tmpdir/w7.json" des oaq crosslink fault

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	constsim -mode protocol -k 10 -scheme oaq -episodes 50000
+//	constsim -mode protocol -loss 0.4 -retries 2 -faults testdata/faults.json
 //	constsim -mode capacity -eta 10 -lambda 5e-5 -periods 200
 package main
 
@@ -19,6 +20,7 @@ import (
 	"satqos/internal/capacity"
 	"satqos/internal/crosslink"
 	"satqos/internal/des"
+	"satqos/internal/fault"
 	"satqos/internal/membership"
 	"satqos/internal/oaq"
 	"satqos/internal/obs"
@@ -44,6 +46,9 @@ func run(args []string, w io.Writer) (err error) {
 	nu := fs.Float64("nu", 30, "computation completion rate ν (1/min)")
 	backward := fs.Bool("backward", false, "enable backward (coordination-done) messaging")
 	failSilent := fs.Float64("failsilent", 0, "per-peer fail-silent probability")
+	loss := fs.Float64("loss", 0, "crosslink message-loss probability (protocol mode)")
+	retries := fs.Int("retries", 0, "bounded retransmissions per coordination request (protocol mode; 0 disables acks)")
+	faultsPath := fs.String("faults", "", "fault-scenario JSON file replayed in every episode (protocol mode)")
 	eta := fs.Int("eta", 10, "threshold capacity η (capacity mode)")
 	lambda := fs.Float64("lambda", 5e-5, "per-satellite failure rate λ (1/hour, capacity mode)")
 	phi := fs.Float64("phi", 30000, "scheduled-deployment period φ (hours, capacity mode)")
@@ -79,6 +84,15 @@ func run(args []string, w io.Writer) (err error) {
 		p.ComputeTime = stats.Exponential{Rate: *nu}
 		p.BackwardMessaging = *backward
 		p.FailSilentProb = *failSilent
+		p.MessageLossProb = *loss
+		p.RequestRetries = *retries
+		if *faultsPath != "" {
+			s, err := fault.Load(*faultsPath)
+			if err != nil {
+				return err
+			}
+			p.Faults = s
+		}
 		if *metrics != "" {
 			p.Metrics = obs.Default()
 		}
@@ -88,6 +102,10 @@ func run(args []string, w io.Writer) (err error) {
 		}
 		fmt.Fprintf(w, "%v protocol, k=%d, τ=%g, µ=%g, ν=%g, %d episodes\n",
 			scheme, *k, *tau, *mu, *nu, *episodes)
+		if !p.Faults.Empty() {
+			fmt.Fprintf(w, "  fault scenario %q: %d fail-silent windows, %d loss bursts, spare delay %g min\n",
+				p.Faults.Name, len(p.Faults.FailSilent), len(p.Faults.LossBursts), p.Faults.SpareDelayMin)
+		}
 		for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
 			p := ev.PMF[y]
 			ci := 1.96 * math.Sqrt(p*(1-p)/float64(ev.Episodes))
@@ -98,8 +116,10 @@ func run(args []string, w io.Writer) (err error) {
 		fmt.Fprintf(w, "  mean chain length %.3f, mean messages %.2f, mean delivery latency %.3f min\n",
 			ev.MeanChainLength, ev.MeanMessages, ev.MeanDeliveryLatency)
 		fmt.Fprintf(w, "  terminations:")
-		for term, n := range ev.Terminations {
-			fmt.Fprintf(w, " %v=%d", term, n)
+		for term := oaq.TermNone; term <= oaq.TermRetriesExhausted; term++ {
+			if n, ok := ev.Terminations[term]; ok {
+				fmt.Fprintf(w, " %v=%d", term, n)
+			}
 		}
 		fmt.Fprintln(w)
 		return nil

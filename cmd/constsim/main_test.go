@@ -87,6 +87,33 @@ func TestProtocolModeMetricsDump(t *testing.T) {
 	}
 }
 
+func TestProtocolModeFaulted(t *testing.T) {
+	args := []string{
+		"-mode", "protocol", "-episodes", "2000",
+		"-loss", "0.4", "-retries", "2", "-faults", "testdata/faults.json",
+	}
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`fault scenario "smoke"`, "2 fail-silent windows, 1 loss bursts", "retries-exhausted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The faulted report is bit-identical at any worker count.
+	for _, workers := range []string{"1", "7"} {
+		var c strings.Builder
+		if err := run(append(args, "-workers", workers), &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.String() != out {
+			t.Errorf("workers=%s: faulted report differs:\n%s\nvs\n%s", workers, c.String(), out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-mode", "bogus"}, &b); err == nil {
@@ -100,5 +127,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &b); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-mode", "protocol", "-faults", "testdata/no-such-scenario.json"}, &b); err == nil {
+		t.Error("missing scenario file accepted")
 	}
 }

@@ -7,16 +7,30 @@
 // companion of the -metrics flag:
 //
 //	oaqbench -exp fig9 -episodes 256 -metrics - | metricscheck des oaq crosslink
+//
+// With -diff other.json it additionally compares the snapshot against a
+// second one metric-by-metric and fails listing every differing name.
+// Metrics matching -ignore (default: the wall-clock families — *_seconds
+// histograms and parallel_workers_max) are exempt, so the comparison is
+// CI's determinism gate: two runs of the same workload at different
+// worker counts must produce byte-identical simulation metrics.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strings"
 )
+
+// defaultIgnore exempts the wall-clock metric families from -diff:
+// task-timing histograms and the observed worker-count gauge are real
+// time measurements and legitimately differ between runs.
+const defaultIgnore = `_seconds$|^parallel_workers_max$`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -38,12 +52,14 @@ type snapshot struct {
 func run(args []string, stdin io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
 	in := fs.String("in", "", "read the snapshot from this file instead of stdin")
+	diff := fs.String("diff", "", "compare against this second snapshot file and fail on any differing metric")
+	ignore := fs.String("ignore", defaultIgnore, "regexp of metric names exempt from -diff (wall-clock families by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	families := fs.Args()
-	if len(families) == 0 {
-		return fmt.Errorf("no metric families to check (usage: metricscheck [-in file] family...)")
+	if len(families) == 0 && *diff == "" {
+		return fmt.Errorf("nothing to check (usage: metricscheck [-in file] [-diff file] family...)")
 	}
 
 	r := stdin
@@ -71,6 +87,32 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		return fmt.Errorf("snapshot contains no metrics")
 	}
 
+	if *diff != "" {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			return fmt.Errorf("bad -ignore pattern: %w", err)
+		}
+		other, err := os.ReadFile(*diff)
+		if err != nil {
+			return err
+		}
+		otherObj, err := lastJSONObject(other)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *diff, err)
+		}
+		differing, err := diffSnapshots(obj, otherObj, re)
+		if err != nil {
+			return err
+		}
+		if len(differing) > 0 {
+			return fmt.Errorf("snapshots differ in %d metrics: %s", len(differing), strings.Join(differing, ", "))
+		}
+		fmt.Fprintf(w, "diff ok: snapshots identical modulo /%s/\n", *ignore)
+		if len(families) == 0 {
+			return nil
+		}
+	}
+
 	counts := make(map[string]int)
 	for _, fam := range families {
 		prefix := fam + "_"
@@ -94,6 +136,63 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "ok: %d metrics, all %d families present\n", len(snap.Metrics), len(families))
 	return nil
+}
+
+// diffSnapshots compares two snapshot objects metric-by-metric (keyed
+// by name, values compared as compacted JSON) and returns the sorted
+// names that differ — present in only one snapshot, or present in both
+// with different contents — excluding names the ignore pattern matches.
+func diffSnapshots(a, b json.RawMessage, ignore *regexp.Regexp) ([]string, error) {
+	index := func(obj json.RawMessage) (map[string]string, []string, error) {
+		var raw struct {
+			Metrics []json.RawMessage `json:"metrics"`
+		}
+		if err := json.Unmarshal(obj, &raw); err != nil {
+			return nil, nil, fmt.Errorf("snapshot does not parse: %w", err)
+		}
+		byName := make(map[string]string, len(raw.Metrics))
+		var names []string
+		for _, m := range raw.Metrics {
+			var head struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(m, &head); err != nil {
+				return nil, nil, fmt.Errorf("metric entry does not parse: %w", err)
+			}
+			if ignore.MatchString(head.Name) {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, m); err != nil {
+				return nil, nil, err
+			}
+			byName[head.Name] = buf.String()
+			names = append(names, head.Name)
+		}
+		return byName, names, nil
+	}
+	am, anames, err := index(a)
+	if err != nil {
+		return nil, err
+	}
+	bm, bnames, err := index(b)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var differing []string
+	for _, name := range append(anames, bnames...) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		av, aok := am[name]
+		bv, bok := bm[name]
+		if !aok || !bok || av != bv {
+			differing = append(differing, name)
+		}
+	}
+	return differing, nil
 }
 
 // lastJSONObject returns the last top-level JSON object in the input.

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"satqos/internal/obs"
 )
 
 const sampleSnapshot = `{
@@ -66,6 +69,79 @@ func TestCheckFromFile(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "oaq: 1 metrics") {
 		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+// A snapshot produced after a NaN observation must still validate: the
+// obs histogram guard routes non-finite observations to the overflow
+// bucket instead of poisoning the sum (which used to make DumpJSON fail
+// and this checker reject the output).
+func TestCheckAfterNaNObservation(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("oaq_episodes_total", "c").Add(1)
+	r.Histogram("oaq_alert_latency_minutes", "h", []float64{1, 5}).Observe(math.NaN())
+	var dump strings.Builder
+	if err := r.DumpJSON("-", &dump); err != nil {
+		t.Fatalf("DumpJSON after NaN observation: %v", err)
+	}
+	var b strings.Builder
+	if err := run([]string{"oaq"}, strings.NewReader(dump.String()), &b); err != nil {
+		t.Fatalf("snapshot with NaN-guarded histogram rejected: %v", err)
+	}
+}
+
+func TestDiffIdenticalAndDiffering(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := `{
+  "metrics": [
+    {"name": "oaq_episodes_total", "type": "counter", "value": 4},
+    {"name": "parallel_task_busy_seconds", "type": "histogram", "sum": 1.23},
+    {"name": "parallel_workers_max", "type": "gauge", "value": 8}
+  ]
+}
+`
+	// Same simulation metrics, different wall-clock values: diff passes.
+	b := strings.ReplaceAll(strings.ReplaceAll(a, "1.23", "9.87"), `"value": 8`, `"value": 1`)
+	pathB := write("b.json", b)
+	var out strings.Builder
+	if err := run([]string{"-in", write("a.json", a), "-diff", pathB}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("wall-clock-only difference failed the diff: %v", err)
+	}
+	if !strings.Contains(out.String(), "diff ok") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+
+	// A differing simulation metric fails and is named.
+	c := strings.ReplaceAll(a, `"value": 4`, `"value": 5`)
+	err := run([]string{"-in", write("c.json", c), "-diff", pathB}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "oaq_episodes_total") {
+		t.Errorf("differing metric not reported: %v", err)
+	}
+
+	// A metric present in only one snapshot fails too.
+	d := strings.Replace(a, `    {"name": "oaq_episodes_total", "type": "counter", "value": 4},`+"\n", "", 1)
+	err = run([]string{"-in", write("d.json", d), "-diff", pathB}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "oaq_episodes_total") {
+		t.Errorf("missing metric not reported: %v", err)
+	}
+
+	// Families can be checked in the same invocation.
+	if err := run([]string{"-in", write("a2.json", a), "-diff", pathB, "oaq"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("diff + family check failed: %v", err)
+	}
+
+	// An empty -ignore pattern matches everything (regexp semantics), so
+	// guard against misuse via a pattern that matches nothing instead.
+	err = run([]string{"-in", write("a3.json", a), "-diff", pathB, "-ignore", `^$`}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "parallel_task_busy_seconds") {
+		t.Errorf("wall-clock difference not reported with ignore disabled: %v", err)
 	}
 }
 

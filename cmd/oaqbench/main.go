@@ -14,8 +14,10 @@
 // Paper experiments: table1, fig7, fig8, fig9, spot, tau, duration.
 // Validations: simvsana, geometry, capacity, coverage.
 // Extensions: scaling, ablation-backward, ablation-constants,
-// ablation-tc1, membership, sensitivity, mission. Use -exp all for
-// everything.
+// ablation-tc1, membership, sensitivity, mission, degraded-loss,
+// degraded-failsilent (the last two honor -retries, and -faults layers
+// a scripted fault scenario onto them and onto mission). Use -exp all
+// for everything.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"strings"
 
 	"satqos/internal/experiment"
+	"satqos/internal/fault"
 	"satqos/internal/mission"
 	"satqos/internal/numeric"
 	"satqos/internal/obs"
@@ -57,6 +60,8 @@ type options struct {
 	workers  int
 	metrics  string
 	pprof    string
+	retries  int
+	faults   *fault.Scenario
 }
 
 // writeSVG renders a sweep as an SVG chart into the -svg directory.
@@ -74,7 +79,8 @@ func (o options) writeSVG(id string, s *experiment.Sweep) error {
 	}
 	allProb := true
 	for _, ser := range s.Series {
-		dashed := strings.HasPrefix(ser.Name, "BAQ") || strings.HasPrefix(ser.Name, "no-backward")
+		dashed := strings.HasPrefix(ser.Name, "BAQ") || strings.HasPrefix(ser.Name, "no-backward") ||
+			strings.HasPrefix(ser.Name, "no-retry")
 		chart.Series = append(chart.Series, plot.Series{
 			Name: ser.Name, X: s.X, Y: ser.Values, Dashed: dashed,
 		})
@@ -103,7 +109,7 @@ func (o options) writeSVG(id string, s *experiment.Sweep) error {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("oaqbench", flag.ContinueOnError)
 	opt := options{}
-	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|all)")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|degraded-loss|degraded-failsilent|all)")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&opt.svgDir, "svg", "", "also write sweep experiments as SVG charts into this directory")
 	fs.IntVar(&opt.episodes, "episodes", 20000, "episodes per cell for simulation experiments")
@@ -114,8 +120,17 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&opt.workers, "workers", 0, "worker-pool size for sweeps and simulations (0 = GOMAXPROCS; results are identical at any setting)")
 	fs.StringVar(&opt.metrics, "metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
 	fs.StringVar(&opt.pprof, "pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while running (e.g. localhost:6060)")
+	fs.IntVar(&opt.retries, "retries", 2, "bounded retransmissions per coordination request in the degraded-mode experiments (0 disables the hardening)")
+	faultsPath := fs.String("faults", "", "fault-scenario JSON file applied to the degraded-mode and mission experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultsPath != "" {
+		s, err := fault.Load(*faultsPath)
+		if err != nil {
+			return err
+		}
+		opt.faults = s
 	}
 	opt.seed = *seed
 	experiment.Workers = opt.workers
@@ -145,6 +160,7 @@ func run(args []string, w io.Writer) error {
 			"table1", "geometry", "capacity", "fig7", "fig8", "fig9", "spot",
 			"tau", "duration", "simvsana", "coverage",
 			"scaling", "ablation-backward", "ablation-constants", "ablation-tc1", "membership", "sensitivity", "mission", "availability",
+			"degraded-loss", "degraded-failsilent",
 		}
 	}
 	for i, id := range ids {
@@ -334,6 +350,24 @@ func runOne(id string, opt options, w io.Writer) error {
 			return err
 		}
 		return render(s.Table())
+	case "degraded-loss":
+		s, err := experiment.DegradedLossSweep(nil, opt.faults, 10, opt.retries, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("degraded-loss", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "degraded-failsilent":
+		s, err := experiment.DegradedFailSilentSweep(nil, 10, opt.retries, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("degraded-failsilent", s); err != nil {
+			return err
+		}
+		return render(s.Table())
 	case "mission":
 		return runMission(opt, w)
 	case "coverage":
@@ -367,6 +401,7 @@ func runMission(opt options, w io.Writer) error {
 		cfg.SignalRatePerMin = 0.05
 		cfg.Workers = opt.workers
 		cfg.Metrics = experiment.Metrics
+		cfg.Faults = opt.faults
 		rep, err := mission.Run(cfg, 24*60)
 		if err != nil {
 			return err

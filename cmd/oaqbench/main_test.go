@@ -170,6 +170,44 @@ func TestServeDebugEndpoints(t *testing.T) {
 	}
 }
 
+func TestRunDegradedExperiments(t *testing.T) {
+	scenario := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(scenario, []byte(`{
+  "fail_silent": [{"sat": 2, "start_min": 0.5, "end_min": 2}],
+  "loss_bursts": [{"start_min": 0, "end_min": 1, "prob": 0.8}]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-exp", "degraded-loss,degraded-failsilent", "-episodes", "800", "-retries", "1", "-faults", scenario}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"vs crosslink loss rate", "vs scripted fail-silent successors",
+		"OAQ y>=2", "no-retry y>=2", "fault scenario",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultsFlagErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table1", "-faults", "no-such-file.json"}, &b); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"fail_silent": [{"sat": 0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1", "-faults", bad}, &b); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
 func TestRunSimulationExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiments skipped in -short mode")

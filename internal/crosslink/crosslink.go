@@ -9,6 +9,10 @@
 // τ − (n−1)δ — so the model is deliberately simple: each message is
 // delivered after a uniform delay in (0, δ], unless dropped or addressed
 // to a fail-silent node.
+//
+// The loss probability can be overridden at runtime (SetLossProb), which
+// is the hook the fault-injection engine (package fault) uses to script
+// time-windowed loss bursts; Reset restores the configured base value.
 package crosslink
 
 import (
@@ -42,27 +46,60 @@ type Message struct {
 // Handler consumes a delivered message at simulation time now.
 type Handler func(now float64, msg Message)
 
-// Stats counts network activity.
+// Stats counts network activity. The counters obey the accounting
+// invariant
+//
+//	Sent == Delivered + DroppedLoss + DroppedFailSilent + InFlight
+//
+// at every instant (see CheckInvariant); at quiescence InFlight is zero
+// and every emitted message is accounted for exactly once.
 type Stats struct {
+	// Sent counts messages actually emitted into the link. Sends from a
+	// fail-silent node are documented as "never emitted" and do NOT count
+	// here — they appear in SuppressedFailSilent instead.
 	Sent      int
 	Delivered int
 	// DroppedLoss counts messages lost to the link-loss process.
 	DroppedLoss int
-	// DroppedFailSilent counts messages addressed to fail-silent nodes
-	// (delivered nowhere) or sent by fail-silent nodes (never emitted).
+	// DroppedFailSilent counts emitted messages that disappeared at the
+	// receiving side: addressed to a node that was fail-silent at send
+	// time, that became fail-silent while the message was in flight, or
+	// whose handler was unregistered by delivery time.
 	DroppedFailSilent int
+	// SuppressedFailSilent counts Send calls from a fail-silent sender —
+	// never emitted, so they appear in no other counter.
+	SuppressedFailSilent int
+	// InFlight is the number of emitted messages scheduled but not yet
+	// delivered or dropped.
+	InFlight int
+}
+
+// CheckInvariant verifies the accounting identity
+// Sent == Delivered + DroppedLoss + DroppedFailSilent + InFlight.
+// A violation is a bookkeeping bug in this package, not a runtime
+// condition; tests call this after every scenario.
+func (s Stats) CheckInvariant() error {
+	if got := s.Delivered + s.DroppedLoss + s.DroppedFailSilent + s.InFlight; got != s.Sent {
+		return fmt.Errorf("crosslink: accounting violation: Sent=%d but Delivered+DroppedLoss+DroppedFailSilent+InFlight=%d (%+v)",
+			s.Sent, got, s)
+	}
+	return nil
 }
 
 // Network is a crosslink fabric bound to a discrete-event simulation.
 type Network struct {
-	sim        *des.Simulation
-	rng        *stats.RNG
-	delta      float64
-	lossProb   float64
-	handlers   map[NodeID]Handler
-	failSilent map[NodeID]bool
-	stats      Stats
-	delayHist  *obs.LocalHistogram
+	sim          *des.Simulation
+	rng          *stats.RNG
+	delta        float64
+	lossProb     float64
+	baseLossProb float64
+	handlers     map[NodeID]Handler
+	failSilent   map[NodeID]bool
+	stats        Stats
+	delayHist    *obs.LocalHistogram
+	// epoch fences delivery events across Reset: a message emitted before
+	// a Reset must neither deliver nor touch the fresh epoch's books.
+	epoch uint64
 }
 
 // SetDelayHistogram installs a per-shard histogram that observes each
@@ -76,7 +113,7 @@ type Config struct {
 	// MaxDelayMin is δ: the maximum message-delivery delay (minutes).
 	MaxDelayMin float64
 	// LossProb is the probability an individual message is lost in
-	// transit (0 for the paper's analysis).
+	// transit (0 for the paper's analysis; 1 models a total outage).
 	LossProb float64
 }
 
@@ -92,29 +129,49 @@ func NewNetwork(sim *des.Simulation, cfg Config, rng *stats.RNG) (*Network, erro
 	if cfg.MaxDelayMin <= 0 || math.IsNaN(cfg.MaxDelayMin) {
 		return nil, fmt.Errorf("crosslink: max delay δ = %g must be positive", cfg.MaxDelayMin)
 	}
-	if cfg.LossProb < 0 || cfg.LossProb >= 1 || math.IsNaN(cfg.LossProb) {
-		return nil, fmt.Errorf("crosslink: loss probability %g outside [0, 1)", cfg.LossProb)
+	if cfg.LossProb < 0 || cfg.LossProb > 1 || math.IsNaN(cfg.LossProb) {
+		return nil, fmt.Errorf("crosslink: loss probability %g outside [0, 1]", cfg.LossProb)
 	}
 	return &Network{
-		sim:        sim,
-		rng:        rng,
-		delta:      cfg.MaxDelayMin,
-		lossProb:   cfg.LossProb,
-		handlers:   make(map[NodeID]Handler),
-		failSilent: make(map[NodeID]bool),
+		sim:          sim,
+		rng:          rng,
+		delta:        cfg.MaxDelayMin,
+		lossProb:     cfg.LossProb,
+		baseLossProb: cfg.LossProb,
+		handlers:     make(map[NodeID]Handler),
+		failSilent:   make(map[NodeID]bool),
 	}, nil
 }
 
 // MaxDelay returns δ.
 func (n *Network) MaxDelay() float64 { return n.delta }
 
+// LossProb returns the loss probability currently in effect.
+func (n *Network) LossProb() float64 { return n.lossProb }
+
+// SetLossProb overrides the per-message loss probability from now on —
+// the fault-injection hook for time-windowed loss bursts (1 models a
+// total crosslink outage). Reset restores the configured base value.
+// An out-of-range or NaN probability is a wiring bug and panics.
+func (n *Network) SetLossProb(p float64) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("crosslink: SetLossProb(%g) outside [0, 1]", p))
+	}
+	n.lossProb = p
+}
+
 // Reset clears the handler registrations, fail-silence marks, and
-// counters, keeping the map storage, so the network can host a fresh
-// episode on the same (reset) simulation without reallocating.
+// counters, restores the configured base loss probability, and fences
+// off any still-scheduled deliveries of the previous epoch (they will
+// neither deliver nor touch the fresh counters), keeping the map
+// storage so the network can host a fresh episode on the same (reset)
+// simulation without reallocating.
 func (n *Network) Reset() {
 	clear(n.handlers)
 	clear(n.failSilent)
 	n.stats = Stats{}
+	n.lossProb = n.baseLossProb
+	n.epoch++
 }
 
 // Register installs the delivery handler for a node, replacing any
@@ -138,15 +195,21 @@ func (n *Network) SetFailSilent(id NodeID, silent bool) {
 func (n *Network) FailSilent(id NodeID) bool { return n.failSilent[id] }
 
 // Send queues a message for delivery after a uniform delay in (0, δ].
-// Messages from or to fail-silent nodes disappear silently, as do
-// messages hit by the loss process. Sending to an unregistered node is
-// an error (a wiring bug, not a runtime condition).
+// Messages from fail-silent nodes are never emitted (counted as
+// suppressed); messages to fail-silent nodes and messages hit by the
+// loss process disappear silently (counted as dropped). Sending to an
+// unregistered node is an error (a wiring bug, not a runtime
+// condition).
 func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	if _, ok := n.handlers[to]; !ok && !n.failSilent[to] {
 		return fmt.Errorf("crosslink: send to unregistered node %d", to)
 	}
+	if n.failSilent[from] {
+		n.stats.SuppressedFailSilent++
+		return nil
+	}
 	n.stats.Sent++
-	if n.failSilent[from] || n.failSilent[to] {
+	if n.failSilent[to] {
 		n.stats.DroppedFailSilent++
 		return nil
 	}
@@ -156,7 +219,15 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	}
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sim.Now()}
 	delay := n.delta * (1 - n.rng.Float64()) // in (0, δ]
+	n.stats.InFlight++
+	epoch := n.epoch
 	n.sim.Schedule(delay, "crosslink:"+kind, func(now float64) {
+		if n.epoch != epoch {
+			// The network was Reset while the message was in flight: it
+			// belongs to a dead epoch and must not skew the fresh books.
+			return
+		}
+		n.stats.InFlight--
 		// Fail-silence may have begun after the send.
 		if n.failSilent[msg.To] {
 			n.stats.DroppedFailSilent++

@@ -1,0 +1,69 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AgendaEntry is one scripted occurrence on an Agenda: an action to run
+// at an absolute scenario time (minutes from the agenda's origin).
+type AgendaEntry struct {
+	// At is the scenario time of the action, relative to the origin
+	// passed to Arm.
+	At float64
+	// Label tags the scheduled event for diagnostics.
+	Label string
+	// Do is the action; it receives the simulation time it fires at.
+	Do Handler
+}
+
+// Agenda is a scenario-event source: an ordered script of timed actions
+// that can be armed onto a Simulation at a chosen origin. It decouples
+// scenario authoring (package fault builds agendas from JSON timelines)
+// from the kernel: the agenda holds plain entries until Arm translates
+// them into scheduled events.
+//
+// An Agenda can be armed repeatedly — once per episode — and entries
+// whose absolute time has already passed when Arm is called are clamped
+// to fire immediately (in Add order), preserving FIFO determinism.
+type Agenda struct {
+	entries []AgendaEntry
+	sorted  bool
+}
+
+// Add appends an entry. At must be finite; NaN is a scripting bug and
+// panics, matching the kernel's Schedule contract.
+func (a *Agenda) Add(at float64, label string, do Handler) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("des: agenda entry %q at non-finite time %g", label, at))
+	}
+	if do == nil {
+		panic(fmt.Sprintf("des: agenda entry %q has nil action", label))
+	}
+	a.entries = append(a.entries, AgendaEntry{At: at, Label: label, Do: do})
+	a.sorted = false
+}
+
+// Len returns the number of entries on the agenda.
+func (a *Agenda) Len() int { return len(a.entries) }
+
+// Arm schedules every entry onto the simulation at absolute time
+// origin + entry.At. Entries landing before the simulation's current
+// time fire immediately instead (scenario times are clamped, never
+// dropped). Entries are armed in time order (ties in Add order), so two
+// agendas armed back-to-back interleave deterministically.
+func (a *Agenda) Arm(sim *Simulation, origin float64) {
+	if !a.sorted {
+		sort.SliceStable(a.entries, func(i, j int) bool { return a.entries[i].At < a.entries[j].At })
+		a.sorted = true
+	}
+	now := sim.Now()
+	for _, e := range a.entries {
+		at := origin + e.At
+		if at < now {
+			at = now
+		}
+		sim.ScheduleAt(at, "agenda:"+e.Label, e.Do)
+	}
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"testing"
+
+	"satqos/internal/fault"
+)
+
+// monotoneNonIncreasing fails the test if the series ever rises — the
+// common-random-numbers coupling is what makes this assertable on the
+// raw curves rather than within sampling noise.
+func monotoneNonIncreasing(t *testing.T, s Series) {
+	t.Helper()
+	for i := 1; i < len(s.Values); i++ {
+		if s.Values[i] > s.Values[i-1] {
+			t.Errorf("%s: not monotone non-increasing at point %d: %v -> %v (series %v)",
+				s.Name, i, s.Values[i-1], s.Values[i], s.Values)
+			return
+		}
+	}
+}
+
+func TestDegradedLossSweepMonotone(t *testing.T) {
+	s, err := DegradedLossSweep([]float64{0, 0.2, 0.4, 0.6, 0.8}, nil, 10, 2, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Series) != 5 {
+		t.Fatalf("series = %d, want 5 (3 hardened + 2 no-retry)", len(s.Series))
+	}
+	for _, ser := range s.Series {
+		monotoneNonIncreasing(t, ser)
+	}
+	find := func(name string) Series {
+		for _, ser := range s.Series {
+			if ser.Name == name {
+				return ser
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return Series{}
+	}
+	// The hardened configuration never loses a detected alert; the
+	// no-retry baseline does once the link gets lossy.
+	hardened, bare := find("OAQ y>=1"), find("no-retry y>=1")
+	last := len(s.X) - 1
+	if hardened.Values[last] != hardened.Values[0] {
+		t.Errorf("hardened delivery degraded under loss: %v", hardened.Values)
+	}
+	if bare.Values[last] >= hardened.Values[last] {
+		t.Errorf("no-retry baseline should lose alerts at 80%% loss: bare %v vs hardened %v",
+			bare.Values[last], hardened.Values[last])
+	}
+	// Coordination mass must actually decay with loss.
+	seq := find("OAQ y>=2")
+	if seq.Values[last] >= seq.Values[0] {
+		t.Errorf("P(Y>=2) did not decay with loss: %v", seq.Values)
+	}
+}
+
+func TestDegradedFailSilentSweep(t *testing.T) {
+	s, err := DegradedFailSilentSweep([]int{0, 1, 2}, 10, 2, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ser := range s.Series {
+		monotoneNonIncreasing(t, ser)
+	}
+	var hardened, seq Series
+	for _, ser := range s.Series {
+		switch ser.Name {
+		case "OAQ y>=1":
+			hardened = ser
+		case "OAQ y>=2":
+			seq = ser
+		}
+	}
+	if hardened.Values[2] != hardened.Values[0] {
+		t.Errorf("hardened delivery degraded under fail-silent successors: %v", hardened.Values)
+	}
+	if seq.Values[1] >= seq.Values[0] {
+		t.Errorf("silencing the first successor should reduce P(Y>=2): %v", seq.Values)
+	}
+}
+
+func TestDegradedFailSilentSweepRejectsNegativeCount(t *testing.T) {
+	if _, err := DegradedFailSilentSweep([]int{-1}, 10, 0, 100, 1); err == nil {
+		t.Error("negative fail-silent count accepted")
+	}
+}
+
+func TestDegradedSweepsWorkerInvariant(t *testing.T) {
+	scenario := &fault.Scenario{
+		FailSilent: []fault.FailSilentWindow{{Sat: 2, StartMin: 0.5, EndMin: 2}},
+		LossBursts: []fault.LossBurst{{StartMin: 0, EndMin: 1, Prob: 0.8}},
+	}
+	t.Run("DegradedLossSweep", func(t *testing.T) {
+		seq, par := withWorkers(t, func() (*Sweep, error) {
+			return DegradedLossSweep([]float64{0, 0.3, 0.6}, scenario, 10, 1, 600, 11)
+		})
+		requireEqual(t, "DegradedLossSweep", seq, par)
+	})
+	t.Run("DegradedFailSilentSweep", func(t *testing.T) {
+		seq, par := withWorkers(t, func() (*Sweep, error) {
+			return DegradedFailSilentSweep([]int{0, 2}, 10, 1, 600, 11)
+		})
+		requireEqual(t, "DegradedFailSilentSweep", seq, par)
+	})
+}

@@ -1,0 +1,179 @@
+// Package fault is a deterministic fault-injection scenario engine.
+//
+// A Scenario is a declarative fault timeline — timed fail-silent onset
+// and recovery per satellite, time-windowed crosslink loss bursts, and a
+// delayed-spare-deployment policy — loaded from JSON and replayed
+// through the discrete-event simulation via a des.Agenda. Times are
+// scenario-relative minutes: zero is the episode's origin (the
+// detection event for OAQ episodes, the signal onset for mission
+// scans), so one scenario file drives every episode of a sweep.
+//
+// Determinism: all stochastic choices (per-window jitter) are drawn
+// from the episode RNG at Arm time, in the fixed order the windows
+// appear in the scenario, never from event-execution order. A sweep
+// that arms the same scenario with the same seed therefore reproduces
+// bit-identically at any worker count.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// FailSilentWindow scripts one satellite's fail-silent interval.
+type FailSilentWindow struct {
+	// Sat is the chain ordinal of the satellite (1 = the detector, 2 =
+	// the detector's successor, and so on).
+	Sat int `json:"sat"`
+	// StartMin is the onset time (scenario minutes).
+	StartMin float64 `json:"start_min"`
+	// EndMin is the scripted recovery time. Zero means no scripted
+	// recovery: the satellite stays silent until a delayed spare deploys
+	// (Scenario.SpareDelayMin), or permanently if that is zero too.
+	EndMin float64 `json:"end_min,omitempty"`
+	// JitterMin shifts the whole window later by a uniform draw in
+	// [0, JitterMin], modeling onset-time uncertainty.
+	JitterMin float64 `json:"jitter_min,omitempty"`
+}
+
+// LossBurst scripts a time-windowed crosslink loss-probability
+// override. Outside every burst the link runs at its configured base
+// loss probability; at EndMin the base is restored.
+type LossBurst struct {
+	StartMin float64 `json:"start_min"`
+	EndMin   float64 `json:"end_min"`
+	// Prob is the loss probability in effect during the burst (1 models
+	// a total crosslink outage).
+	Prob float64 `json:"prob"`
+	// JitterMin shifts the whole burst later by a uniform draw in
+	// [0, JitterMin].
+	JitterMin float64 `json:"jitter_min,omitempty"`
+}
+
+// Scenario is a complete fault timeline.
+type Scenario struct {
+	// Name labels the scenario in reports and metrics.
+	Name       string             `json:"name,omitempty"`
+	FailSilent []FailSilentWindow `json:"fail_silent,omitempty"`
+	LossBursts []LossBurst        `json:"loss_bursts,omitempty"`
+	// SpareDelayMin is the delayed-spare-deployment policy: a fail-silent
+	// window with no scripted recovery ends SpareDelayMin after onset,
+	// when the spare takes over the silent satellite's slot. Zero
+	// disables the policy (such windows last the whole episode).
+	SpareDelayMin float64 `json:"spare_delay_min,omitempty"`
+}
+
+// Parse decodes a scenario from JSON and validates it. Unknown fields
+// are rejected — a typo in a scenario file must not silently disable a
+// fault.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parse scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func finiteNonNegative(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 1)
+}
+
+// Validate checks the timeline for scripting errors.
+func (s *Scenario) Validate() error {
+	for i, w := range s.FailSilent {
+		if w.Sat < 1 {
+			return fmt.Errorf("fault: fail_silent[%d]: sat ordinal %d must be ≥ 1", i, w.Sat)
+		}
+		if !finiteNonNegative(w.StartMin) || math.IsNaN(w.StartMin) {
+			return fmt.Errorf("fault: fail_silent[%d]: start_min %g must be finite and ≥ 0", i, w.StartMin)
+		}
+		if math.IsNaN(w.EndMin) || !finiteNonNegative(w.EndMin) || (w.EndMin != 0 && w.EndMin <= w.StartMin) {
+			return fmt.Errorf("fault: fail_silent[%d]: end_min %g must be 0 (no scripted recovery) or > start_min %g", i, w.EndMin, w.StartMin)
+		}
+		if math.IsNaN(w.JitterMin) || !finiteNonNegative(w.JitterMin) {
+			return fmt.Errorf("fault: fail_silent[%d]: jitter_min %g must be finite and ≥ 0", i, w.JitterMin)
+		}
+	}
+	for i, b := range s.LossBursts {
+		if !finiteNonNegative(b.StartMin) || math.IsNaN(b.StartMin) {
+			return fmt.Errorf("fault: loss_bursts[%d]: start_min %g must be finite and ≥ 0", i, b.StartMin)
+		}
+		if math.IsNaN(b.EndMin) || !finiteNonNegative(b.EndMin) || b.EndMin <= b.StartMin {
+			return fmt.Errorf("fault: loss_bursts[%d]: end_min %g must be > start_min %g", i, b.EndMin, b.StartMin)
+		}
+		if !(b.Prob >= 0 && b.Prob <= 1) { // also rejects NaN
+			return fmt.Errorf("fault: loss_bursts[%d]: prob %g outside [0, 1]", i, b.Prob)
+		}
+		if math.IsNaN(b.JitterMin) || !finiteNonNegative(b.JitterMin) {
+			return fmt.Errorf("fault: loss_bursts[%d]: jitter_min %g must be finite and ≥ 0", i, b.JitterMin)
+		}
+		// Overlapping bursts would make "restore the base probability at
+		// burst end" ambiguous; the link has one loss process.
+		for j, o := range s.LossBursts[:i] {
+			if b.StartMin < o.EndMin && o.StartMin < b.EndMin {
+				return fmt.Errorf("fault: loss_bursts[%d] overlaps loss_bursts[%d]", i, j)
+			}
+		}
+	}
+	if math.IsNaN(s.SpareDelayMin) || !finiteNonNegative(s.SpareDelayMin) {
+		return fmt.Errorf("fault: spare_delay_min %g must be finite and ≥ 0", s.SpareDelayMin)
+	}
+	return nil
+}
+
+// Empty reports whether the scenario injects nothing.
+func (s *Scenario) Empty() bool {
+	return s == nil || (len(s.FailSilent) == 0 && len(s.LossBursts) == 0)
+}
+
+// recoveryTime returns the scenario time a window's fail-silence ends,
+// or +Inf if it never recovers.
+func (s *Scenario) recoveryTime(w FailSilentWindow) float64 {
+	if w.EndMin > 0 {
+		return w.EndMin
+	}
+	if s.SpareDelayMin > 0 {
+		return w.StartMin + s.SpareDelayMin
+	}
+	return math.Inf(1)
+}
+
+// FailSilentAt reports whether the satellite with the given chain
+// ordinal is scripted fail-silent at scenario time t, using the nominal
+// (jitter-free) windows. This is the query interface for models that do
+// not run the message-level DES (the mission geometry scan).
+func (s *Scenario) FailSilentAt(ordinal int, t float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.FailSilent {
+		if w.Sat != ordinal {
+			continue
+		}
+		if t >= w.StartMin && t < s.recoveryTime(w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValidScenario(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"name": "silent-3-with-burst",
+		"fail_silent": [
+			{"sat": 3, "start_min": 2.5, "end_min": 10},
+			{"sat": 2, "start_min": 0, "jitter_min": 1}
+		],
+		"loss_bursts": [
+			{"start_min": 1, "end_min": 4, "prob": 0.8},
+			{"start_min": 6, "end_min": 7, "prob": 1}
+		],
+		"spare_delay_min": 30
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "silent-3-with-burst" || len(s.FailSilent) != 2 || len(s.LossBursts) != 2 {
+		t.Errorf("parsed: %+v", s)
+	}
+	if s.Empty() {
+		t.Error("non-empty scenario reported Empty")
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	_, err := Parse([]byte(`{"fail_silent": [{"sat": 1, "start": 2}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("typo'd field name accepted: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{"sat zero", Scenario{FailSilent: []FailSilentWindow{{Sat: 0}}}, "sat ordinal"},
+		{"negative start", Scenario{FailSilent: []FailSilentWindow{{Sat: 1, StartMin: -1}}}, "start_min"},
+		{"NaN start", Scenario{FailSilent: []FailSilentWindow{{Sat: 1, StartMin: math.NaN()}}}, "start_min"},
+		{"end before start", Scenario{FailSilent: []FailSilentWindow{{Sat: 1, StartMin: 5, EndMin: 3}}}, "end_min"},
+		{"negative jitter", Scenario{FailSilent: []FailSilentWindow{{Sat: 1, JitterMin: -1}}}, "jitter_min"},
+		{"burst no end", Scenario{LossBursts: []LossBurst{{StartMin: 1, Prob: 0.5}}}, "end_min"},
+		{"burst prob high", Scenario{LossBursts: []LossBurst{{StartMin: 1, EndMin: 2, Prob: 1.5}}}, "prob"},
+		{"burst prob NaN", Scenario{LossBursts: []LossBurst{{StartMin: 1, EndMin: 2, Prob: math.NaN()}}}, "prob"},
+		{"overlapping bursts", Scenario{LossBursts: []LossBurst{
+			{StartMin: 1, EndMin: 5, Prob: 0.5},
+			{StartMin: 4, EndMin: 6, Prob: 0.2},
+		}}, "overlaps"},
+		{"negative spare delay", Scenario{SpareDelayMin: -1}, "spare_delay_min"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// Back-to-back bursts (end == next start) do not overlap.
+	ok := Scenario{LossBursts: []LossBurst{
+		{StartMin: 1, EndMin: 5, Prob: 0.5},
+		{StartMin: 5, EndMin: 6, Prob: 0.2},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("adjacent bursts rejected: %v", err)
+	}
+}
+
+func TestFailSilentAt(t *testing.T) {
+	s := Scenario{
+		FailSilent: []FailSilentWindow{
+			{Sat: 2, StartMin: 10, EndMin: 20}, // scripted recovery
+			{Sat: 3, StartMin: 5},              // recovers via spare
+			{Sat: 4, StartMin: 5},              // same, different sat
+		},
+		SpareDelayMin: 15,
+	}
+	cases := []struct {
+		sat  int
+		t    float64
+		want bool
+	}{
+		{2, 9.9, false}, {2, 10, true}, {2, 19.9, true}, {2, 20, false},
+		{3, 4, false}, {3, 5, true}, {3, 19.9, true}, {3, 20, false}, // 5 + spare 15
+		{4, 6, true},
+		{1, 10, false}, // never scripted
+	}
+	for _, tc := range cases {
+		if got := s.FailSilentAt(tc.sat, tc.t); got != tc.want {
+			t.Errorf("FailSilentAt(%d, %g) = %v, want %v", tc.sat, tc.t, got, tc.want)
+		}
+	}
+	// Permanent silence when no spare policy.
+	s.SpareDelayMin = 0
+	if !s.FailSilentAt(3, 1e9) {
+		t.Error("window without recovery or spare should be permanent")
+	}
+	var nilScenario *Scenario
+	if nilScenario.FailSilentAt(1, 0) {
+		t.Error("nil scenario reported a fault")
+	}
+	if !nilScenario.Empty() {
+		t.Error("nil scenario should be Empty")
+	}
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math"
+
+	"satqos/internal/crosslink"
+	"satqos/internal/des"
+	"satqos/internal/stats"
+)
+
+// Target binds a scenario to one episode's simulation and fabrics.
+type Target struct {
+	Sim *des.Simulation
+	// Origin is the simulation time scenario time zero maps to (the
+	// detection event for OAQ episodes).
+	Origin float64
+	// RNG supplies the per-window jitter draws. Arm consumes exactly one
+	// draw per fail-silent window and one per loss burst, in scenario
+	// order, so the episode's downstream randomness does not depend on
+	// the jitter values themselves.
+	RNG *stats.RNG
+	// Node maps a chain ordinal (1 = detector) to the fabric node ID.
+	Node func(ordinal int) crosslink.NodeID
+	// Links is the inter-satellite fabric: loss bursts and fail-silence
+	// apply here.
+	Links *crosslink.Network
+	// Ground, if non-nil, is the satellite-to-ground fabric; fail-silent
+	// satellites go silent on it too (a fail-silent node emits nothing
+	// on any link).
+	Ground *crosslink.Network
+}
+
+// Counts reports what Arm scheduled, for metrics accounting.
+type Counts struct {
+	FailSilentWindows int
+	LossBursts        int
+}
+
+// Arm schedules the scenario's timeline onto the target episode via a
+// des.Agenda: fail-silent onset/recovery marks on both fabrics, and
+// loss-probability overrides on the inter-satellite links with the base
+// probability restored at each burst's end. Windows that start before
+// the origin (or before the simulation's current time) take effect
+// immediately. Arm must be called once per episode, after the fabrics
+// are reset.
+func (s *Scenario) Arm(t Target) Counts {
+	if s.Empty() {
+		return Counts{}
+	}
+	var agenda des.Agenda
+	for _, w := range s.FailSilent {
+		jitter := w.JitterMin * t.RNG.Float64()
+		node := t.Node(w.Sat)
+		agenda.Add(w.StartMin+jitter, "failsilent-on", func(float64) {
+			t.Links.SetFailSilent(node, true)
+			if t.Ground != nil {
+				t.Ground.SetFailSilent(node, true)
+			}
+		})
+		if end := s.recoveryTime(w); !math.IsInf(end, 1) {
+			agenda.Add(end+jitter, "failsilent-off", func(float64) {
+				t.Links.SetFailSilent(node, false)
+				if t.Ground != nil {
+					t.Ground.SetFailSilent(node, false)
+				}
+			})
+		}
+	}
+	base := t.Links.LossProb()
+	for _, b := range s.LossBursts {
+		jitter := b.JitterMin * t.RNG.Float64()
+		prob := b.Prob
+		agenda.Add(b.StartMin+jitter, "lossburst-on", func(float64) {
+			t.Links.SetLossProb(prob)
+		})
+		agenda.Add(b.EndMin+jitter, "lossburst-off", func(float64) {
+			t.Links.SetLossProb(base)
+		})
+	}
+	agenda.Arm(t.Sim, t.Origin)
+	return Counts{FailSilentWindows: len(s.FailSilent), LossBursts: len(s.LossBursts)}
+}

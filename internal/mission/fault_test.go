@@ -1,0 +1,119 @@
+package mission
+
+import (
+	"testing"
+
+	"satqos/internal/fault"
+	"satqos/internal/signal"
+	"satqos/internal/stats"
+)
+
+// sparseConfig is a single plane at threshold capacity with short
+// signals: coverage is mostly single-satellite, so silencing the first
+// coverer has an unambiguous effect on detection.
+func sparseConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Constellation.Planes = 1
+	cfg.Constellation.ActivePerPlane = 10
+	cfg.Constellation.SparesPerPlane = 0
+	cfg.SignalRatePerMin = 0.05
+	cfg.SignalDuration = stats.Exponential{Rate: 2}
+	cfg.Position = signal.LatitudeBand{MinLatDeg: -60, MaxLatDeg: 60}
+	return cfg
+}
+
+func TestMissionFaultScenarioValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = &fault.Scenario{FailSilent: []fault.FailSilentWindow{{Sat: 0, StartMin: 0}}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid fault scenario accepted")
+	}
+}
+
+// Silencing every satellite the scan could ever assign an ordinal to
+// suppresses detection entirely: fault-filtered coverage is a subset of
+// the raw geometry, never an addition.
+func TestMissionAllSilencedDetectsNothing(t *testing.T) {
+	cfg := sparseConfig()
+	s := &fault.Scenario{Name: "blackout"}
+	for ord := 1; ord <= 64; ord++ {
+		s.FailSilent = append(s.FailSilent, fault.FailSilentWindow{Sat: ord, StartMin: 0})
+	}
+	cfg.Faults = s
+	rep, err := Run(cfg, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes < 20 {
+		t.Fatalf("only %d episodes", rep.Episodes)
+	}
+	if rep.DetectedFraction != 0 {
+		t.Errorf("detected fraction = %v with every coverer silenced", rep.DetectedFraction)
+	}
+}
+
+// Fail-silent windows degrade detection monotonically, and the delayed
+// spare-deployment policy recovers part of it: permanently silencing
+// the first coverer loses short signals, a spare taking over after
+// SpareDelayMin wins some of them back, and the clean run detects the
+// most.
+func TestMissionFaultWindowsDegradeAndRecover(t *testing.T) {
+	const horizon = 1500
+	run := func(s *fault.Scenario) *Report {
+		t.Helper()
+		cfg := sparseConfig()
+		cfg.Faults = s
+		rep, err := Run(cfg, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	clean := run(nil)
+	permanent := run(&fault.Scenario{
+		FailSilent: []fault.FailSilentWindow{{Sat: 1, StartMin: 0}},
+	})
+	spared := run(&fault.Scenario{
+		FailSilent:    []fault.FailSilentWindow{{Sat: 1, StartMin: 0}},
+		SpareDelayMin: 0.5,
+	})
+	if permanent.DetectedFraction >= clean.DetectedFraction {
+		t.Errorf("permanently silencing the first coverer did not reduce detection: %v vs clean %v",
+			permanent.DetectedFraction, clean.DetectedFraction)
+	}
+	if spared.DetectedFraction <= permanent.DetectedFraction {
+		t.Errorf("spare deployment after 0.5 min did not recover detection: %v vs permanent %v",
+			spared.DetectedFraction, permanent.DetectedFraction)
+	}
+	if spared.DetectedFraction > clean.DetectedFraction {
+		t.Errorf("faulted run detected more than the clean run: %v vs %v",
+			spared.DetectedFraction, clean.DetectedFraction)
+	}
+}
+
+// The fault-filtered mission stays bit-identical at any worker count:
+// ordinal assignment is per-episode state, untouched by the batch
+// fan-out.
+func TestMissionFaultedWorkerInvariant(t *testing.T) {
+	base := sparseConfig()
+	base.Faults = &fault.Scenario{
+		FailSilent: []fault.FailSilentWindow{{Sat: 1, StartMin: 0.1, EndMin: 0.6}},
+	}
+	ref := (*Report)(nil)
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		rep, err := Run(cfg, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if rep.DetectedFraction != ref.DetectedFraction || rep.PMF != ref.PMF {
+			t.Errorf("workers=%d: faulted mission differs: detected %v/%v, pmf %v/%v",
+				workers, rep.DetectedFraction, ref.DetectedFraction, rep.PMF, ref.PMF)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"satqos/internal/constellation"
+	"satqos/internal/fault"
 	"satqos/internal/geoloc"
 	"satqos/internal/obs"
 	"satqos/internal/orbit"
@@ -64,6 +65,16 @@ type Config struct {
 	// aggregation, so they are worker-count independent) and the run's
 	// wall-clock duration.
 	Metrics *obs.Registry
+	// Faults, when non-nil, applies the scenario's fail-silent windows to
+	// the geometric scan: a silenced satellite neither detects the signal
+	// nor contributes an opportunity pass. Scenario time zero is the
+	// signal's onset, and ordinals follow first-coverage order within each
+	// episode (Sat 1 is the first satellite whose footprint reaches the
+	// emitter — silencing it suppresses that satellite's detection
+	// entirely). The mission has no crosslink fabric, so loss bursts do
+	// not apply here; jitter is likewise ignored (the scan uses the
+	// nominal windows) to keep episodes free of extra RNG draws.
+	Faults *fault.Scenario
 }
 
 // DefaultConfig returns a mission over the reference constellation with
@@ -106,6 +117,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mission: need at least 2 samples per pass, got %d", c.SamplesPerPass)
 	case c.InitialGuessKm < 0:
 		return fmt.Errorf("mission: negative initial-guess radius %g", c.InitialGuessKm)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -280,11 +296,35 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 		RealizedErrorKm:  math.NaN(),
 		EstimatedErrorKm: math.NaN(),
 	}
+	// covering applies the scripted fault scenario on top of the raw
+	// geometry: ordinals are assigned in first-coverage order within this
+	// episode (even to satellites the scenario silences from the start),
+	// and a satellite that is fail-silent at t is invisible to the scan.
+	ordinals := make(map[satKey]int)
+	covering := func(t float64) []satKey {
+		cov := r.coveringAt(sig.Position, t)
+		if r.cfg.Faults.Empty() {
+			return cov
+		}
+		alive := cov[:0]
+		for _, k := range cov {
+			ord, ok := ordinals[k]
+			if !ok {
+				ord = len(ordinals) + 1
+				ordinals[k] = ord
+			}
+			if !r.cfg.Faults.FailSilentAt(ord, t-sig.Start) {
+				alive = append(alive, k)
+			}
+		}
+		return alive
+	}
+
 	// Detection: first instant a footprint covers the active signal.
 	t0 := math.NaN()
 	var initial []satKey
 	for t := sig.Start; t < sig.End(); t += coverScanStep {
-		if cov := r.coveringAt(sig.Position, t); len(cov) > 0 {
+		if cov := covering(t); len(cov) > 0 {
 			t0 = t
 			initial = cov
 			break
@@ -337,7 +377,7 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	// satellite covers the still-active target before the deadline.
 	horizon := math.Min(deadline, sig.End())
 	for t := t0 + coverScanStep; t <= horizon; t += coverScanStep {
-		cov := r.coveringAt(sig.Position, t)
+		cov := covering(t)
 		fresh := excluding(cov, initial[0])
 		if len(fresh) == 0 {
 			continue

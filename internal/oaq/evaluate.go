@@ -59,7 +59,7 @@ type tally struct {
 	chainSum     int
 	msgSum       int
 	latencySum   float64
-	terminations [TermChainCap + 1]int
+	terminations [numTerminations]int
 }
 
 func (t *tally) add(res *EpisodeResult) {

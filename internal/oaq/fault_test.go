@@ -1,0 +1,138 @@
+package oaq
+
+import (
+	"testing"
+
+	"satqos/internal/fault"
+	"satqos/internal/obs"
+	"satqos/internal/qos"
+)
+
+// With the bounded retransmission/ack option enabled, no detected
+// episode stalls past the deadline, whatever the crosslink loses: a
+// request that is never acknowledged is retried while the TC-2 window
+// allows and then explicitly abandoned (TermRetriesExhausted), with the
+// sender's own result delivered at or before τ.
+func TestRetransmissionNeverStalls(t *testing.T) {
+	for _, loss := range []float64{0.6, 1} {
+		p := ReferenceParams(10, qos.SchemeOAQ)
+		p.MessageLossProb = loss
+		p.RequestRetries = 2
+		ev, err := EvaluateParallel(p, 4000, 31, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.DeliveredFraction != ev.DetectedFraction {
+			t.Errorf("loss %g: delivered %v < detected %v — an episode stalled past the deadline",
+				loss, ev.DeliveredFraction, ev.DetectedFraction)
+		}
+		if ev.Terminations[TermRetriesExhausted] == 0 {
+			t.Errorf("loss %g: no retries-exhausted terminations recorded: %v", loss, ev.Terminations)
+		}
+	}
+}
+
+// The same transient-loss setting without retries loses alerts (the
+// no-backward variant's documented weakness) — establishing that the
+// retransmission option in TestRetransmissionNeverStalls is what closes
+// the gap.
+func TestRetransmissionClosesDeliveryGap(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.MessageLossProb = 0.6
+	bare, err := EvaluateParallel(p, 4000, 31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.DeliveredFraction >= bare.DetectedFraction-0.01 {
+		t.Fatalf("without retries a 60%%-lossy link should lose alerts: delivered %v of detected %v",
+			bare.DeliveredFraction, bare.DetectedFraction)
+	}
+	p.RequestRetries = 2
+	hardened, err := EvaluateParallel(p, 4000, 31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardened.DeliveredFraction <= bare.DeliveredFraction {
+		t.Errorf("retries did not improve delivery: %v vs %v",
+			hardened.DeliveredFraction, bare.DeliveredFraction)
+	}
+}
+
+// A scripted fault scenario (fail-silent successor + loss burst) is part
+// of the episode's deterministic state: the evaluation is bit-identical
+// at any worker count, and so is the published metrics snapshot.
+func TestFaultedEvaluationWorkerInvariant(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.RequestRetries = 2
+	p.Faults = &fault.Scenario{
+		FailSilent: []fault.FailSilentWindow{{Sat: 2, StartMin: 0.2, EndMin: 2, JitterMin: 0.3}},
+		LossBursts: []fault.LossBurst{{StartMin: 0, EndMin: 1.5, Prob: 0.9}},
+	}
+	const episodes = 3000
+	snapshot := func(workers int) (*Evaluation, string) {
+		q := p
+		q.Metrics = obs.NewRegistry()
+		ev, err := EvaluateParallel(q, episodes, 13, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := q.Metrics.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev, string(js)
+	}
+	refEv, refSnap := snapshot(1)
+	if refEv.Terminations[TermRetriesExhausted] == 0 {
+		t.Errorf("faulted run produced no retries-exhausted terminations: %v", refEv.Terminations)
+	}
+	for _, workers := range []int{2, 8} {
+		ev, snap := snapshot(workers)
+		evaluationsEqual(t, "faulted", refEv, ev)
+		if snap != refSnap {
+			t.Errorf("workers=%d: metrics snapshot differs from single-worker run", workers)
+		}
+	}
+}
+
+// A permanently fail-silent successor suppresses sequential coordination
+// relative to the clean run — the scripted scenario must actually bite.
+func TestScriptedFailSilentDegradesQoS(t *testing.T) {
+	clean := ReferenceParams(10, qos.SchemeOAQ)
+	faulty := clean
+	faulty.Faults = &fault.Scenario{
+		FailSilent: []fault.FailSilentWindow{{Sat: 2, StartMin: 0}},
+	}
+	evClean, err := EvaluateParallel(clean, 4000, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evFaulty, err := EvaluateParallel(faulty, 4000, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evFaulty.PMF[qos.LevelSequentialDual] >= evClean.PMF[qos.LevelSequentialDual] {
+		t.Errorf("silencing the successor should reduce sequential mass: %v vs clean %v",
+			evFaulty.PMF[qos.LevelSequentialDual], evClean.PMF[qos.LevelSequentialDual])
+	}
+}
+
+// Dedicated loss-only worker-count invariant (distinct from the mixed
+// loss+fail-silent config of the engine test): the loss process draws
+// from the same per-shard substreams as everything else.
+func TestEvaluateParallelLossWorkerInvariant(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.MessageLossProb = 0.35
+	const episodes = 3000
+	ref, err := EvaluateParallel(p, episodes, 19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := EvaluateParallel(p, episodes, 19, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evaluationsEqual(t, "loss-only", ref, got)
+	}
+}

@@ -1,21 +1,45 @@
 package oaq
 
 import (
+	"math"
 	"testing"
 
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
 
-func TestMessageLossValidation(t *testing.T) {
-	p := ReferenceParams(10, qos.SchemeOAQ)
-	p.MessageLossProb = 1
-	if err := p.Validate(); err == nil {
-		t.Error("loss probability 1 accepted")
+// TestProbabilityBounds pins the aligned validation of the two failure
+// probabilities: both are closed on [0, 1] (1 models a certain failure —
+// every peer fail-silent, a total crosslink outage) and both reject NaN.
+func TestProbabilityBounds(t *testing.T) {
+	cases := []struct {
+		name  string
+		value float64
+		ok    bool
+	}{
+		{"zero", 0, true},
+		{"interior", 0.5, true},
+		{"one", 1, true},
+		{"negative", -0.1, false},
+		{"above one", 1.1, false},
+		{"NaN", math.NaN(), false},
 	}
-	p.MessageLossProb = -0.1
+	for _, tc := range cases {
+		p := ReferenceParams(10, qos.SchemeOAQ)
+		p.FailSilentProb = tc.value
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("FailSilentProb %s (%g): err = %v, want ok=%v", tc.name, tc.value, err, tc.ok)
+		}
+		p = ReferenceParams(10, qos.SchemeOAQ)
+		p.MessageLossProb = tc.value
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("MessageLossProb %s (%g): err = %v, want ok=%v", tc.name, tc.value, err, tc.ok)
+		}
+	}
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.RequestRetries = -1
 	if err := p.Validate(); err == nil {
-		t.Error("negative loss accepted")
+		t.Error("negative retry budget accepted")
 	}
 }
 

@@ -3,6 +3,7 @@ package oaq
 import (
 	"fmt"
 
+	"satqos/internal/crosslink"
 	"satqos/internal/obs"
 	"satqos/internal/qos"
 )
@@ -18,7 +19,7 @@ import (
 type shardMetrics struct {
 	episodes     uint64
 	levels       [qos.NumLevels]uint64
-	terminations [TermChainCap + 1]uint64
+	terminations [numTerminations]uint64
 	traceKinds   [TraceAlertReceived + 1]uint64
 
 	desScheduled, desFired     uint64
@@ -27,6 +28,13 @@ type shardMetrics struct {
 
 	linkSent, linkDelivered           uint64
 	linkDroppedLoss, linkDroppedFails uint64
+	linkSuppressed                    uint64
+
+	// Protocol-hardening and fault-injection counters: request
+	// retransmissions and acknowledgements (the RequestRetries option)
+	// and scripted fault windows armed per episode.
+	retransmits, acks         uint64
+	faultWindows, faultBursts uint64
 
 	alertLatency *obs.LocalHistogram
 	linkDelay    *obs.LocalHistogram
@@ -79,13 +87,12 @@ func (m *shardMetrics) recordEpisode(e *episode, res *EpisodeResult) {
 
 	// Both fabrics are crosslink networks: net carries inter-satellite
 	// traffic, ground the alert downlink.
-	for _, st := range [2]struct{ Sent, Delivered, DroppedLoss, DroppedFailSilent int }{
-		e.net.Stats(), e.ground.Stats(),
-	} {
+	for _, st := range [2]crosslink.Stats{e.net.Stats(), e.ground.Stats()} {
 		m.linkSent += uint64(st.Sent)
 		m.linkDelivered += uint64(st.Delivered)
 		m.linkDroppedLoss += uint64(st.DroppedLoss)
 		m.linkDroppedFails += uint64(st.DroppedFailSilent)
+		m.linkSuppressed += uint64(st.SuppressedFailSilent)
 	}
 }
 
@@ -116,6 +123,11 @@ func (m *shardMetrics) merge(o *shardMetrics) {
 	m.linkDelivered += o.linkDelivered
 	m.linkDroppedLoss += o.linkDroppedLoss
 	m.linkDroppedFails += o.linkDroppedFails
+	m.linkSuppressed += o.linkSuppressed
+	m.retransmits += o.retransmits
+	m.acks += o.acks
+	m.faultWindows += o.faultWindows
+	m.faultBursts += o.faultBursts
 	m.alertLatency.Merge(o.alertLatency)
 	m.linkDelay.Merge(o.linkDelay)
 }
@@ -133,7 +145,7 @@ func (m *shardMetrics) publish(r *obs.Registry) {
 		r.Counter(fmt.Sprintf("oaq_episode_level_total{level=%q}", qos.Level(l)),
 			"Episode outcomes by achieved QoS level.").Add(n)
 	}
-	for t := int(TermNone); t <= int(TermChainCap); t++ {
+	for t := int(TermNone); t <= int(TermRetriesExhausted); t++ {
 		r.Counter(fmt.Sprintf("oaq_termination_total{cause=%q}", Termination(t)),
 			"Coordination terminations by cause (TC-1/TC-2/TC-3, timeouts, chain cap).").Add(m.terminations[t])
 	}
@@ -144,6 +156,14 @@ func (m *shardMetrics) publish(r *obs.Registry) {
 	r.Counter("oaq_coordination_rounds_total",
 		"Coordination-chain expansions (requests sent to a next-visiting peer).").
 		Add(m.traceKinds[TraceRequestSent])
+	r.Counter("oaq_retransmissions_total",
+		"Coordination-request retransmissions after an ack timeout (RequestRetries option).").Add(m.retransmits)
+	r.Counter("oaq_request_acks_total",
+		"Coordination-request acknowledgements sent by receivers (RequestRetries option).").Add(m.acks)
+	r.Counter("fault_failsilent_windows_total",
+		"Scripted fail-silent windows armed by the fault-injection scenario, summed over episodes.").Add(m.faultWindows)
+	r.Counter("fault_loss_bursts_total",
+		"Scripted crosslink loss bursts armed by the fault-injection scenario, summed over episodes.").Add(m.faultBursts)
 	r.Histogram("oaq_alert_latency_minutes",
 		"Alert send latency from initial detection, delivered episodes (simulation minutes).",
 		alertLatencyBounds).AddLocal(m.alertLatency)
@@ -158,6 +178,7 @@ func (m *shardMetrics) publish(r *obs.Registry) {
 	r.Counter("crosslink_hops_total", "Crosslink hops traversed (each delivered point-to-point message is one hop).").Add(m.linkDelivered)
 	r.Counter("crosslink_dropped_loss_total", "Messages lost to the link-loss process.").Add(m.linkDroppedLoss)
 	r.Counter("crosslink_dropped_failsilent_total", "Messages swallowed by fail-silent endpoints.").Add(m.linkDroppedFails)
+	r.Counter("crosslink_suppressed_failsilent_total", "Sends from fail-silent nodes, never emitted into the link.").Add(m.linkSuppressed)
 	r.Histogram("crosslink_delivery_delay_minutes",
 		"Inter-satellite message delivery delay (simulation minutes).",
 		linkDelayBounds).AddLocal(m.linkDelay)

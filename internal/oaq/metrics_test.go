@@ -78,7 +78,7 @@ func TestMetricsMatchEvaluation(t *testing.T) {
 		t.Errorf("alert-latency observations = %d, want %d (delivered episodes)", *lat.Count, wantDelivered)
 	}
 	var termSum uint64
-	for term := TermNone; term <= TermChainCap; term++ {
+	for term := TermNone; term < Termination(numTerminations); term++ {
 		termSum += counter(`oaq_termination_total{cause="` + term.String() + `"}`)
 	}
 	if termSum != episodes {

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 
+	"satqos/internal/fault"
 	"satqos/internal/obs"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
@@ -76,9 +77,26 @@ type Params struct {
 	// detecting one is fail-silent for the episode.
 	FailSilentProb float64
 	// MessageLossProb is the per-message crosslink loss probability
-	// (0 for the paper's analysis). Lost coordination requests and done
-	// notifications exercise the timeout machinery.
+	// (0 for the paper's analysis; 1 models a total crosslink outage).
+	// Lost coordination requests and done notifications exercise the
+	// timeout machinery.
 	MessageLossProb float64
+	// RequestRetries enables a bounded retransmission/ack option for
+	// coordination requests: the receiver acknowledges each request, and
+	// the sender retransmits after a 2δ round-trip timeout up to this
+	// many times — but only while a successful handoff could still
+	// complete one computation before the deadline (t + 2δ + T_g ≤
+	// t0 + τ), so the TC-2 threshold math is unaffected. When the budget
+	// or the window is exhausted the sender abandons the forward and
+	// delivers its own result (TermRetriesExhausted) instead of stalling.
+	// Zero disables the option (the paper's protocol).
+	RequestRetries int
+	// Faults, when non-nil, scripts a deterministic fault timeline into
+	// every episode (package fault): timed fail-silent windows addressed
+	// by chain ordinal (1 = the detector), crosslink loss bursts, and
+	// delayed spare deployment. Scenario time zero is the episode's
+	// detection time t0.
+	Faults *fault.Scenario
 	// MembershipAware integrates the §5 follow-on: when expanding the
 	// chain, a satellite consults its membership view of the plane (the
 	// protocol of internal/membership) and addresses the coordination
@@ -160,10 +178,17 @@ func (p Params) Validate() error {
 		return fmt.Errorf("oaq: computation-time distribution is required")
 	case p.FailSilentProb < 0 || p.FailSilentProb > 1 || math.IsNaN(p.FailSilentProb):
 		return fmt.Errorf("oaq: fail-silent probability %g outside [0, 1]", p.FailSilentProb)
-	case p.MessageLossProb < 0 || p.MessageLossProb >= 1 || math.IsNaN(p.MessageLossProb):
-		return fmt.Errorf("oaq: message-loss probability %g outside [0, 1)", p.MessageLossProb)
+	case p.MessageLossProb < 0 || p.MessageLossProb > 1 || math.IsNaN(p.MessageLossProb):
+		return fmt.Errorf("oaq: message-loss probability %g outside [0, 1]", p.MessageLossProb)
 	case p.MaxChain < 0:
 		return fmt.Errorf("oaq: negative chain cap %d", p.MaxChain)
+	case p.RequestRetries < 0:
+		return fmt.Errorf("oaq: negative request-retry budget %d", p.RequestRetries)
+	}
+	if p.Faults != nil {
+		if err := p.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -199,7 +224,16 @@ const (
 	TermTimeout
 	// TermChainCap: the configured MaxChain bound stopped expansion.
 	TermChainCap
+	// TermRetriesExhausted: the retransmission budget for a forwarded
+	// coordination request ran out (or no retry window remained) without
+	// an acknowledgement — the peer is unreachable under the current
+	// faults — and the sender abandoned the forward, delivering its own
+	// result instead.
+	TermRetriesExhausted
 )
+
+// numTerminations sizes per-cause accumulators (the enum starts at 1).
+const numTerminations = int(TermRetriesExhausted) + 1
 
 // String implements fmt.Stringer.
 func (t Termination) String() string {
@@ -216,6 +250,8 @@ func (t Termination) String() string {
 		return "wait-timeout"
 	case TermChainCap:
 		return "chain-cap"
+	case TermRetriesExhausted:
+		return "retries-exhausted"
 	default:
 		return fmt.Sprintf("Termination(%d)", int(t))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"satqos/internal/crosslink"
 	"satqos/internal/des"
+	"satqos/internal/fault"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -54,6 +55,7 @@ type alertPayload struct {
 const (
 	kindRequest = "coordination-request"
 	kindDone    = "coordination-done"
+	kindAck     = "coordination-ack"
 	kindAlert   = "alert"
 )
 
@@ -115,6 +117,9 @@ type satellite struct {
 	inherited   alertPayload
 	hasRequest  bool
 	requestFrom crosslink.NodeID
+	// ackedForward records that the forwarded coordination request was
+	// acknowledged (retransmission option only).
+	ackedForward bool
 }
 
 func (s *satellite) passStart() float64 { return float64(s.id) * s.ep.l1 }
@@ -237,6 +242,18 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		if !ok {
 			return
 		}
+		if s.ep.p.RequestRetries > 0 {
+			// Acknowledge every copy — the previous ack may itself have
+			// been lost — but process only the first: a retransmission of
+			// an already-accepted request must not restart the attempt.
+			if s.ep.obs != nil {
+				s.ep.obs.acks++
+			}
+			_ = s.ep.net.Send(s.node, msg.From, kindAck, nil)
+			if s.hasRequest {
+				return
+			}
+		}
 		s.hasRequest = true
 		s.requestFrom = msg.From
 		s.ordinal = pay.ordinal
@@ -255,6 +272,8 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 				}
 			})
 		}
+	case kindAck:
+		s.ackedForward = true
 	case kindDone:
 		s.doneFrom = true
 		s.ep.note(TraceDoneReceived)
@@ -352,12 +371,16 @@ func (s *satellite) evaluate(now float64) {
 	if e.tracing() {
 		e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
 	}
-	_ = e.net.Send(s.node, next.node, kindRequest, requestPayload{
+	req := requestPayload{
 		t0:        e.t0,
 		ordinal:   s.ordinal + 1,
 		passes:    s.passes,
 		inherited: s.level,
-	})
+	}
+	_ = e.net.Send(s.node, next.node, kindRequest, req)
+	if e.p.RequestRetries > 0 {
+		s.armAckTimeout(next.node, req, 0)
+	}
 	if e.p.BackwardMessaging {
 		// Wait for "coordination done" until τ − (n−1)δ; otherwise treat
 		// the peer as unable to deliver (TC-3 after the request, or
@@ -379,6 +402,40 @@ func (s *satellite) evaluate(now float64) {
 			s.sendDone()
 		})
 	}
+}
+
+// armAckTimeout arms the bounded-retransmission option for a forwarded
+// coordination request: if no acknowledgement arrives within a 2δ
+// round trip, the request is retransmitted — but only while a
+// successful handoff could still complete one computation before the
+// deadline (t + 2δ + T_g ≤ t0 + τ), which keeps the TC-2 threshold
+// math intact. When the retry budget or the window is exhausted the
+// satellite abandons the forward and delivers its own result
+// (TermRetriesExhausted) at or before the deadline instead of
+// stalling on an unreachable peer.
+func (s *satellite) armAckTimeout(to crosslink.NodeID, req requestPayload, attempt int) {
+	e := s.ep
+	at := math.Min(e.sim.Now()+2*e.p.DeltaMin, e.deadline)
+	e.sim.ScheduleAt(at, "ack-timeout", func(t float64) {
+		if s.ackedForward || s.sentAlert || e.net.FailSilent(s.node) {
+			return
+		}
+		if attempt < e.p.RequestRetries && t+2*e.p.DeltaMin+e.p.TgMin <= e.deadline {
+			if e.obs != nil {
+				e.obs.retransmits++
+			}
+			if e.tracing() {
+				e.trace(t, s.id, TraceRequestSent, "retransmit %d to S%d (no ack)", attempt+1, int(to))
+			}
+			_ = e.net.Send(s.node, to, kindRequest, req)
+			s.armAckTimeout(to, req, attempt+1)
+			return
+		}
+		e.noteTermination(TermRetriesExhausted)
+		s.forwarded = false
+		s.sendAlert(s.level, s.passes)
+		s.sendDone()
+	})
 }
 
 // episodeRunner amortizes the fixed cost of episode simulation — the
@@ -503,6 +560,26 @@ func (r *episodeRunner) run() EpisodeResult {
 		covering = e.coveringAt(e.t0)
 	}
 	e.deadline = e.t0 + e.p.TauMin
+
+	// Scripted faults are armed before the detection event: an onset at
+	// scenario time zero is in effect when detection fires (FIFO at equal
+	// times), and the agenda's jitter draws sit at a fixed point in the
+	// episode's RNG stream regardless of event order.
+	if !e.p.Faults.Empty() {
+		base := covering[len(covering)-1]
+		c := e.p.Faults.Arm(fault.Target{
+			Sim:    e.sim,
+			Origin: e.t0,
+			RNG:    e.rng,
+			Node:   func(ordinal int) crosslink.NodeID { return crosslink.NodeID(base + ordinal - 1) },
+			Links:  e.net,
+			Ground: e.ground,
+		})
+		if e.obs != nil {
+			e.obs.faultWindows += uint64(c.FailSilentWindows)
+			e.obs.faultBursts += uint64(c.LossBursts)
+		}
+	}
 
 	// First-response logic at t0.
 	e.sim.ScheduleAt(e.t0, "detection", func(float64) {

@@ -1,6 +1,7 @@
 package oaq
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -329,9 +330,9 @@ func TestDefaultErrorModel(t *testing.T) {
 }
 
 func TestTerminationString(t *testing.T) {
-	for _, term := range []Termination{TermNone, TermErrorThreshold, TermDeadline, TermSignalLost, TermTimeout, TermChainCap} {
-		if term.String() == "" {
-			t.Errorf("empty string for %d", int(term))
+	for term := TermNone; term < Termination(numTerminations); term++ {
+		if s := term.String(); s == "" || s == fmt.Sprintf("Termination(%d)", int(term)) {
+			t.Errorf("missing String case for %d", int(term))
 		}
 	}
 	if Termination(99).String() != "Termination(99)" {

@@ -60,9 +60,16 @@ func bucketIndex(bounds []float64, v float64) int {
 	return len(bounds)
 }
 
-// Observe records one value.
+// Observe records one value. A non-finite value (NaN or ±Inf) is
+// counted in the overflow bucket but excluded from the sum: one such
+// observation would otherwise poison the sum forever and make the JSON
+// snapshot unmarshalable (encoding/json rejects non-finite floats).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.counts[len(h.counts)-1].Add(1)
 		return
 	}
 	h.counts[bucketIndex(h.bounds, v)].Add(1)
@@ -156,9 +163,14 @@ func NewLocalHistogram(bounds []float64) *LocalHistogram {
 	return &LocalHistogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values are counted in the
+// overflow bucket and excluded from the sum, as in Histogram.Observe.
 func (l *LocalHistogram) Observe(v float64) {
 	if l == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		l.counts[len(l.counts)-1]++
 		return
 	}
 	l.counts[bucketIndex(l.bounds, v)]++
