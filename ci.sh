@@ -8,6 +8,12 @@
 # run (scripted fail-silent windows + loss burst + retransmission)
 # must produce bit-identical metrics snapshots at two worker counts —
 # the determinism gate for the fault-injection path.
+#
+# On top of tier 1, the validation-harness gates: the golden corpus
+# must regenerate identically at 1 and 8 workers and the comparator
+# must catch an injected perturbation; every fuzz target gets a short
+# live fuzz beyond its committed seed corpus; and the harness's own
+# packages must hold a statement-coverage floor.
 set -eux
 
 go build ./...
@@ -35,3 +41,32 @@ go run -race ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
 go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
     -faults cmd/constsim/testdata/faults.json -workers 7 -metrics "$tmpdir/w7.json"
 go run ./cmd/metricscheck -in "$tmpdir/w1.json" -diff "$tmpdir/w7.json" des oaq crosslink fault
+
+# Golden-corpus gate: the committed experiment snapshots (figures 7-9
+# and the degraded-mode sweeps) must regenerate identically at both
+# worker counts, and the comparator must fail loudly when the
+# regenerated values are perturbed.
+go run ./cmd/goldencheck -workers 1
+go run ./cmd/goldencheck -workers 8
+if go run ./cmd/goldencheck -only fig9 -perturb 0.05; then
+    echo "goldencheck failed to detect an injected perturbation" >&2
+    exit 1
+fi
+
+# Fuzz smoke tier: a short live fuzz of every target, beyond the
+# committed seed corpora (which plain `go test` already replays).
+go test -run='^$' -fuzz='^FuzzScenarioJSON$' -fuzztime=5s ./internal/fault
+go test -run='^$' -fuzz='^FuzzParams$' -fuzztime=5s ./internal/oaq
+go test -run='^$' -fuzz='^FuzzConditionalPMF$' -fuzztime=5s ./internal/qos
+go test -run='^$' -fuzz='^FuzzGeometry$' -fuzztime=5s ./internal/qos
+go test -run='^$' -fuzz='^FuzzSnapshotDiff$' -fuzztime=5s ./cmd/metricscheck
+
+# Coverage floor on the validation harness and its statistical
+# machinery: these packages gate everything else, so their own
+# statement coverage must not rot.
+go test -cover ./internal/validate ./internal/stats |
+    awk '/coverage:/ {
+             gsub(/%/, "", $5)
+             if ($5 + 0 < 75) { print "coverage below 75%:", $0; bad = 1 }
+         }
+         END { exit bad }'

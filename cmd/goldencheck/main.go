@@ -1,0 +1,92 @@
+// Command goldencheck is the golden-corpus gate: it regenerates the
+// experiment snapshots registered in internal/validate (the paper's
+// figures 7–9 and the degraded-mode sweeps) and compares them against
+// the committed corpus — exactly for analytic outputs, by
+// Wilson-interval overlap for Monte-Carlo outputs. A nonzero exit
+// means the implementation drifted from its committed behaviour.
+//
+//	goldencheck                  # check the whole corpus
+//	goldencheck -workers 8       # same results, parallel sweep points
+//	goldencheck -only fig9       # check a subset (comma-separated)
+//	goldencheck -update          # rewrite the corpus from the current code
+//	goldencheck -perturb 0.05    # self-test: MUST fail (drift injection)
+//
+// The corpus regenerates bit-identically at any -workers value; CI runs
+// the comparison at 1 and 8 workers and additionally asserts that a
+// -perturb run fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"satqos/internal/experiment"
+	"satqos/internal/validate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goldencheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("goldencheck", flag.ContinueOnError)
+	dir := fs.String("dir", validate.GoldenDir, "golden corpus directory")
+	workers := fs.Int("workers", 0, "sweep-point parallelism (0 = GOMAXPROCS)")
+	update := fs.Bool("update", false, "rewrite the corpus instead of comparing")
+	perturb := fs.Float64("perturb", 0, "add this to every regenerated value (comparator self-test)")
+	onlyList := fs.String("only", "", "comma-separated spec names to check (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	experiment.Workers = *workers
+
+	only := map[string]bool{}
+	if *onlyList != "" {
+		for _, name := range strings.Split(*onlyList, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
+
+	if *update {
+		if *perturb != 0 {
+			return fmt.Errorf("-update and -perturb are mutually exclusive")
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		for _, spec := range validate.GoldenSpecs() {
+			if len(only) > 0 && !only[spec.Name] {
+				continue
+			}
+			g, err := spec.Regenerate()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, spec.File())
+			if err := g.WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "goldencheck: wrote %s\n", path)
+		}
+		return nil
+	}
+
+	if err := validate.CheckCorpus(*dir, only, *perturb); err != nil {
+		return err
+	}
+	checked := len(validate.GoldenSpecs())
+	if len(only) > 0 {
+		checked = len(only)
+	}
+	fmt.Fprintf(w, "goldencheck: %d snapshots match %s\n", checked, *dir)
+	return nil
+}

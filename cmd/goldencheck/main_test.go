@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSubsetAndPerturb exercises the comparator end to end against
+// a corpus written into a temp dir: a clean check passes at 1 and 8
+// workers, and a perturbed check fails.
+func TestRunSubsetAndPerturb(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "-only", "fig9", "-update"}, os.Stdout); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig9.json")); err != nil {
+		t.Fatalf("corpus not written: %v", err)
+	}
+	for _, workers := range []string{"1", "8"} {
+		if err := run([]string{"-dir", dir, "-only", "fig9", "-workers", workers}, os.Stdout); err != nil {
+			t.Errorf("clean check at %s workers: %v", workers, err)
+		}
+	}
+	err := run([]string{"-dir", dir, "-only", "fig9", "-perturb", "1e-9"}, os.Stdout)
+	if err == nil {
+		t.Fatal("perturbed check passed")
+	}
+	if !strings.Contains(err.Error(), "fig9") {
+		t.Errorf("perturbation error does not name the snapshot: %v", err)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	if err := run([]string{"-only", "no-such-spec"}, os.Stdout); err == nil {
+		t.Error("unknown spec name accepted")
+	}
+	if err := run([]string{"-update", "-perturb", "1", "-dir", t.TempDir()}, os.Stdout); err == nil {
+		t.Error("-update with -perturb accepted")
+	}
+	if err := run([]string{"stray"}, os.Stdout); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

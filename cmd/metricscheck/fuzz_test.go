@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+// FuzzSnapshotDiff drives the snapshot extraction and diff path with
+// arbitrary byte pairs: lastJSONObject must never panic and must only
+// return valid JSON; diffSnapshots must be symmetric in its inputs and
+// must report no differences between a snapshot and itself.
+func FuzzSnapshotDiff(f *testing.F) {
+	f.Add([]byte(`{"metrics":[{"name":"a","type":"counter","value":1}]}`), []byte(`{"metrics":[]}`))
+	f.Add([]byte("table output\n{\n  \"metrics\": [{\"name\": \"des_events_total\", \"value\": 3}]\n}\n"),
+		[]byte(`{"metrics":[{"name":"des_events_total","value":4}]}`))
+	f.Add([]byte(`{"metrics":[{"name":"oaq_runtime_seconds","value":9}]}`),
+		[]byte(`{"metrics":[{"name":"oaq_runtime_seconds","value":1}]}`))
+	f.Add([]byte(`{"metrics":[{"name":"dup","value":1},{"name":"dup","value":2}]}`), []byte(`{}`))
+	f.Add([]byte(`not json at all`), []byte(`{`))
+	f.Add([]byte("{}\ntrailing"), []byte("prefix\n{}"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ignore := regexp.MustCompile(defaultIgnore)
+		objA, errA := lastJSONObject(a)
+		if errA == nil && !json.Valid(objA) {
+			t.Fatalf("lastJSONObject returned invalid JSON: %q", objA)
+		}
+		objB, errB := lastJSONObject(b)
+		if errA != nil || errB != nil {
+			return // extraction rejected an input; nothing to diff
+		}
+		ab, errAB := diffSnapshots(objA, objB, ignore)
+		ba, errBA := diffSnapshots(objB, objA, ignore)
+		if (errAB == nil) != (errBA == nil) {
+			t.Fatalf("diff asymmetric in error: a→b %v, b→a %v", errAB, errBA)
+		}
+		if errAB != nil {
+			return
+		}
+		if len(ab) != len(ba) {
+			t.Fatalf("diff asymmetric: a→b %v, b→a %v", ab, ba)
+		}
+		set := make(map[string]bool, len(ab))
+		for _, name := range ab {
+			set[name] = true
+		}
+		for _, name := range ba {
+			if !set[name] {
+				t.Fatalf("diff asymmetric: %q only in b→a (a→b %v, b→a %v)", name, ab, ba)
+			}
+		}
+		if self, err := diffSnapshots(objA, objA, ignore); err != nil || len(self) != 0 {
+			t.Fatalf("snapshot differs from itself: %v %v", self, err)
+		}
+	})
+}

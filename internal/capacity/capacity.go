@@ -85,10 +85,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("capacity: spares %d must be non-negative", p.Spares)
 	case p.Eta < 1 || p.Eta > p.ActivePerPlane:
 		return fmt.Errorf("capacity: threshold η = %d outside [1, %d]", p.Eta, p.ActivePerPlane)
-	case p.LambdaPerHour <= 0 || math.IsNaN(p.LambdaPerHour):
-		return fmt.Errorf("capacity: failure rate λ = %g must be positive", p.LambdaPerHour)
-	case p.PhiHours <= 0 || math.IsNaN(p.PhiHours):
-		return fmt.Errorf("capacity: scheduled period φ = %g must be positive", p.PhiHours)
+	case p.LambdaPerHour <= 0 || math.IsNaN(p.LambdaPerHour) || math.IsInf(p.LambdaPerHour, 0):
+		return fmt.Errorf("capacity: failure rate λ = %g must be positive and finite", p.LambdaPerHour)
+	case p.PhiHours <= 0 || math.IsNaN(p.PhiHours) || math.IsInf(p.PhiHours, 0):
+		return fmt.Errorf("capacity: scheduled period φ = %g must be positive and finite", p.PhiHours)
 	}
 	return nil
 }

@@ -29,6 +29,11 @@ func TestParamsValidate(t *testing.T) {
 		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: 0, PhiHours: 1},
 		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: 1e-5, PhiHours: 0},
 		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: math.NaN(), PhiHours: 1},
+		// Fuzz regressions: λ = +Inf broke the RK4 step selection with a
+		// confusing error, and φ = +Inf made Analytic integrate forever.
+		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: math.Inf(1), PhiHours: 1},
+		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: 1e-5, PhiHours: math.Inf(1)},
+		{ActivePerPlane: 14, Spares: 2, Eta: 10, LambdaPerHour: 1e-5, PhiHours: math.NaN()},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {

@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioJSON drives the scenario parser with arbitrary bytes:
+// Parse must never panic, and any scenario it accepts must satisfy its
+// own Validate and survive a marshal → Parse → marshal round trip
+// byte-identically (the canonical-form contract scenario files rely
+// on). Comparing re-encodings rather than structs sidesteps the one
+// legal asymmetry: "fail_silent": [] decodes to an empty non-nil slice
+// that re-encodes as absent.
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"drill","fail_silent":[{"sat":2,"start_min":3}]}`))
+	f.Add([]byte(`{"fail_silent":[{"sat":1,"start_min":0,"end_min":5,"jitter_min":0.5}]}`))
+	f.Add([]byte(`{"loss_bursts":[{"start_min":1,"end_min":2,"prob":0.5}],"spare_delay_min":10}`))
+	f.Add([]byte(`{"loss_bursts":[{"start_min":1,"end_min":2,"prob":0.3},{"start_min":3,"end_min":4,"prob":1}]}`))
+	f.Add([]byte(`{"fail_silent":[{"sat":0,"start_min":-1}]}`))
+	f.Add([]byte(`{"loss_bursts":[{"start_min":5,"end_min":1,"prob":2}]}`))
+	f.Add([]byte(`{"unknown_knob":true}`))
+	f.Add([]byte(`{"spare_delay_min":1e999}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected input; only the absence of panics matters
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario its own Validate rejects: %v\ninput: %s", err, data)
+		}
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded scenario rejected: %v\nencoding: %s", err, enc)
+		}
+		enc2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("round trip not canonical:\n  first  %s\n  second %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package geoloc
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/mat"
+	"satqos/internal/orbit"
+)
+
+func TestMeasurementValidateTable(t *testing.T) {
+	good := Measurement{
+		SatPos:  orbit.Vec3{X: orbit.EarthRadiusKm + 500},
+		FreqHz:  450e6,
+		SigmaHz: 1,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Measurement)
+		ok     bool
+	}{
+		{"reference", func(m *Measurement) {}, true},
+		{"zero sigma", func(m *Measurement) { m.SigmaHz = 0 }, false},
+		{"negative sigma", func(m *Measurement) { m.SigmaHz = -1 }, false},
+		{"NaN sigma", func(m *Measurement) { m.SigmaHz = math.NaN() }, false},
+		{"zero frequency", func(m *Measurement) { m.FreqHz = 0 }, false},
+		{"negative frequency", func(m *Measurement) { m.FreqHz = -450e6 }, false},
+		{"NaN frequency", func(m *Measurement) { m.FreqHz = math.NaN() }, false},
+		{"subterranean satellite", func(m *Measurement) { m.SatPos = orbit.Vec3{X: 100} }, false},
+		{"origin satellite", func(m *Measurement) { m.SatPos = orbit.Vec3{} }, false},
+	}
+	for _, c := range cases {
+		m := good
+		c.mutate(&m)
+		if err := m.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestEnuOffsetWrapTable pins the antimeridian handling: offsets
+// between positions on opposite sides of ±180° longitude must take the
+// short way around, in both directions.
+func TestEnuOffsetWrapTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		baseLon      float64
+		pLon         float64
+		wantEastSign float64
+	}{
+		{"eastward across the antimeridian", 3.1, -3.1, +1},
+		{"westward across the antimeridian", -3.1, 3.1, -1},
+	}
+	for _, c := range cases {
+		base := orbit.LatLon{Lat: 0, Lon: c.baseLon}
+		p := orbit.LatLon{Lat: 0, Lon: c.pLon}
+		n, e := enuOffset(base, p)
+		if n != 0 {
+			t.Errorf("%s: north offset %g, want 0", c.name, n)
+		}
+		wantMag := (2*math.Pi - 6.2) * orbit.EarthRadiusKm
+		if math.Signbit(e) == (c.wantEastSign > 0) || math.Abs(math.Abs(e)-wantMag) > 1e-6 {
+			t.Errorf("%s: east offset %g, want sign %g magnitude %g", c.name, e, c.wantEastSign, wantMag)
+		}
+	}
+}
+
+// TestOffsetPositionPolarClamp exercises the cos(lat) clamp: an
+// eastward offset at the pole must not divide by zero.
+func TestOffsetPositionPolarClamp(t *testing.T) {
+	pole := orbit.LatLon{Lat: math.Pi / 2, Lon: 0}
+	p := offsetPosition(pole, 0, 10)
+	if math.IsNaN(p.Lat) || math.IsNaN(p.Lon) || math.IsInf(p.Lon, 0) {
+		t.Errorf("polar east offset produced %+v", p)
+	}
+}
+
+// TestPredictedFrequencyZeroRange pins the degenerate geometry guard:
+// a satellite exactly at the emitter sees the bare carrier.
+func TestPredictedFrequencyZeroRange(t *testing.T) {
+	emitter := orbit.LatLon{Lat: 0.5, Lon: 1.0}
+	satPos := emitter.ECI(3)
+	got := predictedFrequency(emitter, carrierHz, 3, satPos, orbit.Vec3{X: 400})
+	if got != carrierHz {
+		t.Errorf("zero-range frequency = %g, want the carrier %g", got, carrierHz)
+	}
+}
+
+// TestSolvePriorCovarianceTable drives the prior-fusion error paths:
+// singular and non-positive-definite prior covariances must be
+// rejected with typed errors, not panics.
+func TestSolvePriorCovarianceTable(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	meas := observe(t, o, truth, 0, 4, 5, 0)
+	diag := func(a, b, c float64) *mat.Matrix {
+		m := mat.New(3, 3)
+		m.Set(0, 0, a)
+		m.Set(1, 1, b)
+		m.Set(2, 2, c)
+		return m
+	}
+	cases := []struct {
+		name string
+		cov  *mat.Matrix
+	}{
+		{"singular covariance", diag(0, 0, 0)},
+		{"indefinite covariance", diag(1, 1, -1)},
+	}
+	for _, c := range cases {
+		prior := &Estimate{Position: truth, FreqHz: carrierHz, Covariance: c.cov}
+		if _, err := (Estimator{}).Solve(meas, truth, carrierHz, prior); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestSolveFusesPriorMeasurementCount pins the sequential-localization
+// bookkeeping: the fused estimate reports the prior's measurements plus
+// its own.
+func TestSolveFusesPriorMeasurementCount(t *testing.T) {
+	o := refOrbit(t, 0, 0)
+	truth := emitterUnder(o, 2)
+	first, err := (Estimator{}).Solve(observe(t, o, truth, 0, 4, 5, 7), truth, carrierHz, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Measurements != 5 {
+		t.Fatalf("first pass fused %d measurements, want 5", first.Measurements)
+	}
+	second, err := (Estimator{}).Solve(observe(t, o, truth, 90, 94, 4, 8), first.Position, first.FreqHz, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Measurements != 9 {
+		t.Errorf("sequential pass fused %d measurements, want 9", second.Measurements)
+	}
+}

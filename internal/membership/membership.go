@@ -61,7 +61,7 @@ func (c Config) Validate() error {
 	if c.RoundEvery <= 0 || math.IsNaN(c.RoundEvery) {
 		return fmt.Errorf("membership: round period %g must be positive", c.RoundEvery)
 	}
-	if c.SuspectAfter <= c.RoundEvery {
+	if math.IsNaN(c.SuspectAfter) || c.SuspectAfter <= c.RoundEvery {
 		return fmt.Errorf("membership: suspect timeout %g must exceed the round period %g",
 			c.SuspectAfter, c.RoundEvery)
 	}

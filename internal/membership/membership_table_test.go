@@ -1,0 +1,115 @@
+package membership
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/crosslink"
+)
+
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"tight but ordered", Config{RoundEvery: 0.01, SuspectAfter: 0.02}, true},
+		{"zero round", Config{RoundEvery: 0, SuspectAfter: 1}, false},
+		{"negative round", Config{RoundEvery: -1, SuspectAfter: 1}, false},
+		{"NaN round", Config{RoundEvery: math.NaN(), SuspectAfter: 1}, false},
+		{"timeout equals round", Config{RoundEvery: 0.1, SuspectAfter: 0.1}, false},
+		{"timeout below round", Config{RoundEvery: 0.2, SuspectAfter: 0.1}, false},
+		// Regression: NaN passed the <= ordering comparison and produced
+		// a group that could never suspect anyone.
+		{"NaN timeout", Config{RoundEvery: 0.1, SuspectAfter: math.NaN()}, false},
+		{"infinite round", Config{RoundEvery: math.Inf(1), SuspectAfter: math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestCandidatesSortedAndInsulated(t *testing.T) {
+	sim, net, _ := harness(t, 2, DefaultConfig(), 41)
+	g, err := NewGroup(sim, net, []crosslink.NodeID{30, 10, 20}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Candidates()
+	want := []crosslink.NodeID{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates() = %v, want %v", got, want)
+		}
+	}
+	got[0] = 99 // the returned slice must be a copy
+	if again := g.Candidates(); again[0] != 10 {
+		t.Errorf("mutating the returned slice leaked into the group: %v", again)
+	}
+}
+
+// TestOnMessageIgnoresForeignTraffic exercises the handler's defensive
+// arms: unknown message kinds and heartbeat-kind messages with a
+// malformed payload must be ignored without disturbing any view.
+func TestOnMessageIgnoresForeignTraffic(t *testing.T) {
+	sim, net, g := harness(t, 3, DefaultConfig(), 43)
+	const outsider = crosslink.NodeID(50)
+	if err := net.Register(outsider, func(now float64, msg crosslink.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := g.ViewOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := []struct {
+		kind    string
+		payload any
+	}{
+		{"bogus-kind", heartbeat{}},
+		{kindHeartbeat, "not a heartbeat struct"},
+		{kindHeartbeat, heartbeat{view: 7, suspects: []crosslink.NodeID{2}}},
+		{kindJoin, joinAnnouncement{}},
+	}
+	for _, s := range sends {
+		if err := net.Send(outsider, 1, s.kind, s.payload); err != nil {
+			t.Fatalf("send %s: %v", s.kind, err)
+		}
+	}
+	sim.Run(1)
+	after, err := g.ViewOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before) {
+		t.Errorf("foreign traffic changed node 1's view: %v -> %v", before, after)
+	}
+}
+
+// TestFailedNodeDropsTraffic pins the alive guard: a failed member
+// ignores even well-formed messages until recovered.
+func TestFailedNodeDropsTraffic(t *testing.T) {
+	sim, _, g := harness(t, 3, DefaultConfig(), 47)
+	g.Start()
+	if err := g.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2) // rounds run; node 2 must stay at its pre-failure view
+	h, err := g.HistoryOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 {
+		t.Errorf("failed node installed %d views, want to stay at its initial one", len(h))
+	}
+	// The survivors meanwhile excluded it.
+	v, err := g.ViewOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Includes(2) {
+		t.Errorf("survivor still includes the failed node: %v", v)
+	}
+}

@@ -103,20 +103,20 @@ func (c Config) Validate() error {
 	switch {
 	case !c.Scheme.Valid():
 		return fmt.Errorf("mission: unknown scheme %d", int(c.Scheme))
-	case c.TauMin <= 0 || math.IsNaN(c.TauMin):
-		return fmt.Errorf("mission: deadline τ = %g must be positive", c.TauMin)
-	case c.SignalRatePerMin <= 0 || math.IsNaN(c.SignalRatePerMin):
-		return fmt.Errorf("mission: signal rate %g must be positive", c.SignalRatePerMin)
+	case c.TauMin <= 0 || math.IsNaN(c.TauMin) || math.IsInf(c.TauMin, 0):
+		return fmt.Errorf("mission: deadline τ = %g must be positive and finite", c.TauMin)
+	case c.SignalRatePerMin <= 0 || math.IsNaN(c.SignalRatePerMin) || math.IsInf(c.SignalRatePerMin, 0):
+		return fmt.Errorf("mission: signal rate %g must be positive and finite", c.SignalRatePerMin)
 	case c.SignalDuration == nil:
 		return fmt.Errorf("mission: signal-duration distribution is required")
 	case c.Position == nil:
 		return fmt.Errorf("mission: position sampler is required")
-	case c.CarrierHz <= 0 || c.NoiseHz <= 0:
-		return fmt.Errorf("mission: sensor parameters must be positive")
+	case !(c.CarrierHz > 0) || math.IsInf(c.CarrierHz, 0) || !(c.NoiseHz > 0) || math.IsInf(c.NoiseHz, 0):
+		return fmt.Errorf("mission: sensor parameters must be positive and finite")
 	case c.SamplesPerPass < 2:
 		return fmt.Errorf("mission: need at least 2 samples per pass, got %d", c.SamplesPerPass)
-	case c.InitialGuessKm < 0:
-		return fmt.Errorf("mission: negative initial-guess radius %g", c.InitialGuessKm)
+	case c.InitialGuessKm < 0 || math.IsNaN(c.InitialGuessKm) || math.IsInf(c.InitialGuessKm, 0):
+		return fmt.Errorf("mission: initial-guess radius %g must be finite and non-negative", c.InitialGuessKm)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -173,8 +173,8 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if horizonMin <= 0 || math.IsNaN(horizonMin) {
-		return nil, fmt.Errorf("mission: horizon %g must be positive", horizonMin)
+	if horizonMin <= 0 || math.IsNaN(horizonMin) || math.IsInf(horizonMin, 0) {
+		return nil, fmt.Errorf("mission: horizon %g must be positive and finite", horizonMin)
 	}
 	runTimer := obs.StartTimer(cfg.Metrics.Histogram("mission_run_seconds",
 		"Wall-clock duration of one mission run.", obs.DurationBuckets))

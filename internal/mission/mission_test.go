@@ -24,6 +24,14 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.NoiseHz = 0 },
 		func(c *Config) { c.SamplesPerPass = 1 },
 		func(c *Config) { c.InitialGuessKm = -1 },
+		// Fuzz regressions: non-finite rates and NaN sensor parameters
+		// slipped through the original <= 0 comparisons.
+		func(c *Config) { c.TauMin = math.Inf(1) },
+		func(c *Config) { c.SignalRatePerMin = math.Inf(1) },
+		func(c *Config) { c.CarrierHz = math.NaN() },
+		func(c *Config) { c.NoiseHz = math.NaN() },
+		func(c *Config) { c.InitialGuessKm = math.NaN() },
+		func(c *Config) { c.InitialGuessKm = math.Inf(1) },
 	}
 	for i, mutate := range mutations {
 		cfg := DefaultConfig()
@@ -38,6 +46,9 @@ func TestRunValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	if _, err := Run(cfg, 0); err == nil {
 		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(cfg, math.Inf(1)); err == nil {
+		t.Error("infinite horizon accepted")
 	}
 	cfg.TauMin = 0
 	if _, err := Run(cfg, 100); err == nil {

@@ -1,0 +1,85 @@
+package oaq
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// FuzzParams drives Params.Validate across the whole field space and
+// runs one episode on every accepted configuration: validation must
+// never panic, must reject anything the episode engine cannot run
+// (NaN/Inf deadlines, degenerate distributions), and every accepted
+// configuration must produce an internally consistent episode result.
+// Ranges pathological-but-valid enough to stall an episode (day-long
+// deadlines with millisecond compute bounds) are validated but not run.
+func FuzzParams(f *testing.F) {
+	f.Add(10, 5.0, 0.01, 0.05, 0.5, 30.0, 0.0, 0.0, 0, 0, false, 0.0)
+	f.Add(12, 5.0, 0.01, 0.05, 0.2, 30.0, 0.1, 0.2, 2, 16, true, 25.0)
+	f.Add(1, 0.5, 0.001, 0.001, 5.0, 100.0, 0.9, 0.9, 8, 1, false, 0.0)
+	f.Add(9, 30.0, 0.5, 1.0, 0.05, 1.0, 0.5, 0.5, 1, 64, true, 1.0)
+	f.Add(10, math.Inf(1), 0.01, 0.05, 0.5, 30.0, 0.0, 0.0, 0, 0, false, 0.0)
+	f.Add(10, 5.0, math.NaN(), 0.05, 0.5, 30.0, 0.0, 0.0, 0, 0, false, 0.0)
+	f.Add(10, 5.0, 0.01, 0.05, 0.0, 30.0, 0.0, 0.0, 0, 0, false, 0.0)
+	f.Add(-3, 5.0, 0.01, 0.05, 0.5, 30.0, 2.0, -1.0, -1, -1, false, -5.0)
+	f.Fuzz(func(t *testing.T, k int, tau, delta, tg, mu, nu, fsProb, lossProb float64,
+		retries, maxChain int, backward bool, errKm float64) {
+		p := ReferenceParams(k, qos.SchemeOAQ)
+		p.TauMin = tau
+		p.DeltaMin = delta
+		p.TgMin = tg
+		p.SignalDuration = stats.Exponential{Rate: mu}
+		p.ComputeTime = stats.Exponential{Rate: nu}
+		p.FailSilentProb = fsProb
+		p.MessageLossProb = lossProb
+		p.RequestRetries = retries
+		p.MaxChain = maxChain
+		p.BackwardMessaging = backward
+		p.ErrorThresholdKm = errKm
+		if err := p.Validate(); err != nil {
+			return // rejected; only the absence of panics matters
+		}
+		// Accepted parameters must be finite in every scalar the episode
+		// engine consumes — Validate's core promise.
+		for name, v := range map[string]float64{
+			"tau": p.TauMin, "delta": p.DeltaMin, "tg": p.TgMin,
+			"signal mean": p.SignalDuration.Mean(), "compute mean": p.ComputeTime.Mean(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("Validate accepted non-positive or non-finite %s = %g", name, v)
+			}
+		}
+		// Bound the episode runtime: valid but extreme corners (huge
+		// deadlines against tiny bounds, very deep chains) are legal to
+		// configure yet too slow for a fuzz iteration.
+		if k > 20 || tau > 30 || delta < 1e-3 || tg < 1e-3 ||
+			mu < 0.01 || mu > 10 || nu < 0.1 || nu > 1e3 ||
+			retries > 16 || maxChain > 64 {
+			return
+		}
+		res, err := RunEpisode(p, stats.NewRNG(1, 0))
+		if err != nil {
+			t.Fatalf("episode on validated params: %v\nparams: %+v", err, p)
+		}
+		if !res.Level.Valid() {
+			t.Fatalf("episode produced invalid level %d", int(res.Level))
+		}
+		if res.Level > qos.LevelMiss && !res.Delivered {
+			t.Fatalf("level %v without delivery", res.Level)
+		}
+		if res.Delivered && !res.Detected {
+			t.Fatal("delivery without detection")
+		}
+		if res.Delivered && (math.IsNaN(res.DeliveryLatency) || res.DeliveryLatency < 0) {
+			t.Fatalf("delivered with latency %g", res.DeliveryLatency)
+		}
+		if res.MessagesSent < 0 || res.ChainLength < 0 {
+			t.Fatalf("negative counters: %+v", res)
+		}
+		if res.Termination == 0 {
+			t.Fatalf("episode ended without a termination cause: %+v", res)
+		}
+	})
+}

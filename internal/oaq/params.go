@@ -166,16 +166,20 @@ func (p Params) Validate() error {
 		return fmt.Errorf("oaq: plane capacity k = %d must be positive", p.K)
 	case !p.Scheme.Valid():
 		return fmt.Errorf("oaq: unknown scheme %d", int(p.Scheme))
-	case p.TauMin <= 0 || math.IsNaN(p.TauMin):
-		return fmt.Errorf("oaq: deadline τ = %g must be positive", p.TauMin)
-	case p.DeltaMin <= 0 || math.IsNaN(p.DeltaMin):
-		return fmt.Errorf("oaq: message delay bound δ = %g must be positive", p.DeltaMin)
-	case p.TgMin <= 0 || math.IsNaN(p.TgMin):
-		return fmt.Errorf("oaq: computation bound T_g = %g must be positive", p.TgMin)
+	case p.TauMin <= 0 || math.IsNaN(p.TauMin) || math.IsInf(p.TauMin, 0):
+		return fmt.Errorf("oaq: deadline τ = %g must be positive and finite", p.TauMin)
+	case p.DeltaMin <= 0 || math.IsNaN(p.DeltaMin) || math.IsInf(p.DeltaMin, 0):
+		return fmt.Errorf("oaq: message delay bound δ = %g must be positive and finite", p.DeltaMin)
+	case p.TgMin <= 0 || math.IsNaN(p.TgMin) || math.IsInf(p.TgMin, 0):
+		return fmt.Errorf("oaq: computation bound T_g = %g must be positive and finite", p.TgMin)
 	case p.SignalDuration == nil:
 		return fmt.Errorf("oaq: signal-duration distribution is required")
 	case p.ComputeTime == nil:
 		return fmt.Errorf("oaq: computation-time distribution is required")
+	case !positiveFiniteMean(p.SignalDuration):
+		return fmt.Errorf("oaq: signal-duration distribution mean %g must be positive and finite", p.SignalDuration.Mean())
+	case !positiveFiniteMean(p.ComputeTime):
+		return fmt.Errorf("oaq: computation-time distribution mean %g must be positive and finite", p.ComputeTime.Mean())
 	case p.FailSilentProb < 0 || p.FailSilentProb > 1 || math.IsNaN(p.FailSilentProb):
 		return fmt.Errorf("oaq: fail-silent probability %g outside [0, 1]", p.FailSilentProb)
 	case p.MessageLossProb < 0 || p.MessageLossProb > 1 || math.IsNaN(p.MessageLossProb):
@@ -191,6 +195,15 @@ func (p Params) Validate() error {
 		}
 	}
 	return nil
+}
+
+// positiveFiniteMean reports whether the distribution's mean is a
+// positive finite number — the guard that keeps mis-parameterized
+// distributions (e.g. a non-positive exponential rate, which would
+// panic at sampling time) out of the episode runner.
+func positiveFiniteMean(d stats.Distribution) bool {
+	m := d.Mean()
+	return m > 0 && !math.IsInf(m, 0) && !math.IsNaN(m)
 }
 
 // errorModel returns the effective TC-1 error model.

@@ -20,12 +20,24 @@ func TestParamsValidate(t *testing.T) {
 		func(p *Params) { p.Scheme = 0 },
 		func(p *Params) { p.TauMin = 0 },
 		func(p *Params) { p.TauMin = math.NaN() },
+		func(p *Params) { p.TauMin = math.Inf(1) },
 		func(p *Params) { p.DeltaMin = 0 },
+		// Fuzz regression: δ = +Inf used to be accepted and produced a
+		// corrupted episode (a missing-target level flagged Detected with
+		// NaN latency) because in-flight messages never arrived.
+		func(p *Params) { p.DeltaMin = math.Inf(1) },
 		func(p *Params) { p.TgMin = 0 },
+		func(p *Params) { p.TgMin = math.Inf(1) },
 		func(p *Params) { p.SignalDuration = nil },
+		// Fuzz regression: a zero-rate exponential (infinite mean) used to
+		// pass the nil check and panic at sample time.
+		func(p *Params) { p.SignalDuration = stats.Exponential{Rate: 0} },
 		func(p *Params) { p.ComputeTime = nil },
+		func(p *Params) { p.ComputeTime = stats.Exponential{Rate: 0} },
 		func(p *Params) { p.FailSilentProb = -0.1 },
 		func(p *Params) { p.FailSilentProb = 1.1 },
+		func(p *Params) { p.FailSilentProb = math.NaN() },
+		func(p *Params) { p.MessageLossProb = math.NaN() },
 		func(p *Params) { p.MaxChain = -1 },
 	}
 	for i, mutate := range mutations {

@@ -87,7 +87,11 @@ func (m Model) hCDF(t float64) float64 {
 //
 //	J = (e^{−µa} − e^{−µb})/µ − e^{−ντ} (e^{(ν−µ)b} − e^{(ν−µ)a})/(ν−µ),
 //
-// with the ν = µ limit handled explicitly.
+// with the ν = µ limit handled explicitly. The second term is evaluated
+// with the e^{−ντ} factor folded into each exponent — as written above,
+// e^{(ν−µ)b} overflows for large ν even though the product is tiny
+// (0 · ∞ = NaN); the folded exponents −ν(τ−w) − µw are nonpositive for
+// every w ≤ τ and cannot overflow.
 func (m Model) windowIntegral(a, b float64) float64 {
 	if b <= a {
 		return 0
@@ -98,7 +102,7 @@ func (m Model) windowIntegral(a, b float64) float64 {
 		second = math.Exp(-m.Nu*m.TauMin) * (b - a)
 	} else {
 		d := m.Nu - m.Mu
-		second = math.Exp(-m.Nu*m.TauMin) * (math.Exp(d*b) - math.Exp(d*a)) / d
+		second = (math.Exp(-m.Nu*(m.TauMin-b)-m.Mu*b) - math.Exp(-m.Nu*(m.TauMin-a)-m.Mu*a)) / d
 	}
 	v := first - second
 	if v < 0 {

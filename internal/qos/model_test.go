@@ -341,6 +341,59 @@ func TestMuEqualsNuLimit(t *testing.T) {
 	}
 }
 
+// TestWindowIntegralExtremeRatesRegression pins a fuzzer-found overflow:
+// for fast computation (large ν) and a long deadline, the factored form
+// of the window integral multiplied an underflowed e^{−ντ} by an
+// overflowed e^{(ν−µ)b}, yielding NaN probabilities. The stabilized
+// closed form must stay finite, well-formed, and agree with the
+// quadrature path.
+func TestWindowIntegralExtremeRatesRegression(t *testing.T) {
+	geom, err := NewGeometry(58, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(geom, 30, 0.5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf, err := m.ConditionalPMF(SchemeOAQ, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, v := range pmf {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("level %d probability %v out of range", l, v)
+		}
+	}
+	if !approx(pmf.Total(), 1, 1e-9) {
+		t.Fatalf("mass %v, want 1", pmf.Total())
+	}
+	general, err := NewGeneralModel(geom, 30, mustExp(t, 0.5), mustExp(t, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		name string
+		cf   func(int) (float64, error)
+		gq   func(int) (float64, error)
+	}{
+		{"G2", m.G2, general.G2},
+		{"G0", m.G0, general.G0},
+	} {
+		a, err := p.cf(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.gq(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-8 {
+			t.Errorf("%s closed %v vs quadrature %v", p.name, a, b)
+		}
+	}
+}
+
 func TestComposeEq3(t *testing.T) {
 	m := ReferenceModel()
 	dist, err := capacity.NewDistribution(10, 14, map[int]float64{

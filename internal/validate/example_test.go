@@ -1,0 +1,36 @@
+package validate_test
+
+import (
+	"fmt"
+
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/validate"
+)
+
+// ExampleCheckEvaluation runs the reference protocol configuration and
+// pushes the aggregate result through the invariant suite: a
+// well-formed QoS distribution, one termination cause per episode, and
+// bit-identical results regardless of worker count.
+func Example_checkEvaluation() {
+	p := oaq.ReferenceParams(12, qos.SchemeOAQ)
+	four, err := oaq.EvaluateParallel(p, 1000, 42, 4)
+	if err != nil {
+		panic(err)
+	}
+	if err := validate.CheckEvaluation(four); err != nil {
+		fmt.Println("invariants violated:", err)
+		return
+	}
+	one, err := oaq.EvaluateParallel(p, 1000, 42, 1)
+	if err != nil {
+		panic(err)
+	}
+	if err := validate.CheckEvaluationsEqual(four, one); err != nil {
+		fmt.Println("nondeterministic:", err)
+		return
+	}
+	fmt.Println("evaluation consistent; 4 workers == 1 worker")
+	// Output:
+	// evaluation consistent; 4 workers == 1 worker
+}

@@ -1,0 +1,148 @@
+package validate
+
+import (
+	"fmt"
+
+	"satqos/internal/capacity"
+	"satqos/internal/fault"
+	"satqos/internal/mission"
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// Gen draws random-but-valid configurations for property-based tests.
+// All draws come from one seeded stats.RNG, so a failing configuration
+// is reproduced by re-running with the same seed; tests should log the
+// seed on failure.
+//
+// The ranges are deliberately wide enough to exercise degenerate
+// regimes (tiny deadlines, near-certain loss, single-satellite planes)
+// but bounded so that every drawn configuration passes the package's
+// Validate and evaluates in bounded time.
+type Gen struct {
+	rng *stats.RNG
+}
+
+// NewGen returns a generator seeded for stream (seed, stream).
+func NewGen(seed uint64, stream uint64) *Gen {
+	return &Gen{rng: stats.NewRNG(seed, stream)}
+}
+
+// uniform draws from [lo, hi).
+func (g *Gen) uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.rng.Float64()
+}
+
+// intn draws from [lo, hi] inclusive.
+func (g *Gen) intn(lo, hi int) int {
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// Params draws a valid protocol parameterization: plane capacity in
+// [1, 16], deadlines and bounds spanning three orders of magnitude,
+// loss and fail-silent probabilities up to near-certainty, and a mix
+// of OAQ/BAQ, backward messaging, retry budgets, and chain caps.
+func (g *Gen) Params() oaq.Params {
+	p := oaq.ReferenceParams(g.intn(1, 16), qos.SchemeOAQ)
+	if g.rng.Float64() < 0.5 {
+		p.Scheme = qos.SchemeBAQ
+	}
+	p.TauMin = g.uniform(0.05, 30)
+	p.DeltaMin = g.uniform(1e-3, 0.5)
+	p.TgMin = g.uniform(1e-3, 1)
+	p.SignalDuration = stats.Exponential{Rate: g.uniform(0.05, 5)}
+	p.ComputeTime = stats.Exponential{Rate: g.uniform(1, 100)}
+	p.BackwardMessaging = g.rng.Float64() < 0.5
+	p.FailSilentProb = g.uniform(0, 0.9)
+	p.MessageLossProb = g.uniform(0, 0.9)
+	p.RequestRetries = g.intn(0, 8)
+	p.MaxChain = g.intn(0, 32)
+	if g.rng.Float64() < 0.3 {
+		p.Faults = g.Scenario()
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid params: %v", err))
+	}
+	return p
+}
+
+// Scenario draws a valid fault scenario: up to three fail-silent
+// windows (half with scripted recovery, half open-ended), up to two
+// non-overlapping loss bursts, and an optional delayed-spare policy.
+func (g *Gen) Scenario() *fault.Scenario {
+	s := &fault.Scenario{Name: fmt.Sprintf("gen-%d", g.rng.Intn(1<<16))}
+	for i, n := 0, g.intn(0, 3); i < n; i++ {
+		w := fault.FailSilentWindow{
+			Sat:      g.intn(1, 16),
+			StartMin: g.uniform(0, 20),
+		}
+		if g.rng.Float64() < 0.5 {
+			w.EndMin = w.StartMin + g.uniform(0.1, 20)
+		}
+		if g.rng.Float64() < 0.3 {
+			w.JitterMin = g.uniform(0, 2)
+		}
+		s.FailSilent = append(s.FailSilent, w)
+	}
+	// Lay bursts end-to-start so they can never overlap.
+	cursor := g.uniform(0, 5)
+	for i, n := 0, g.intn(0, 2); i < n; i++ {
+		start := cursor + g.uniform(0, 5)
+		end := start + g.uniform(0.1, 10)
+		s.LossBursts = append(s.LossBursts, fault.LossBurst{
+			StartMin: start, EndMin: end, Prob: g.uniform(0, 1),
+		})
+		cursor = end
+	}
+	if g.rng.Float64() < 0.3 {
+		s.SpareDelayMin = g.uniform(0.1, 30)
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid scenario: %v", err))
+	}
+	return s
+}
+
+// MissionConfig draws a valid end-to-end mission configuration around
+// the defaults, varying the protocol scheme, deadline, signal traffic,
+// and sensor quality.
+func (g *Gen) MissionConfig() mission.Config {
+	c := mission.DefaultConfig()
+	if g.rng.Float64() < 0.5 {
+		c.Scheme = qos.SchemeBAQ
+	}
+	c.TauMin = g.uniform(1, 20)
+	c.SignalRatePerMin = g.uniform(0.005, 0.1)
+	c.SignalDuration = stats.Exponential{Rate: g.uniform(0.05, 1)}
+	c.CarrierHz = g.uniform(100e6, 1e9)
+	c.NoiseHz = g.uniform(0.1, 10)
+	c.SamplesPerPass = g.intn(2, 16)
+	c.InitialGuessKm = g.uniform(0, 100)
+	c.Seed = g.rng.Uint64()
+	if g.rng.Float64() < 0.3 {
+		c.Faults = g.Scenario()
+	}
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid mission config: %v", err))
+	}
+	return c
+}
+
+// CapacityParams draws a valid plane-capacity parameterization: plane
+// sizes up to 16 actives, thresholds anywhere in [1, N], failure rates
+// and deployment periods spanning the paper's sensitivity range.
+func (g *Gen) CapacityParams() capacity.Params {
+	n := g.intn(1, 16)
+	p := capacity.Params{
+		ActivePerPlane: n,
+		Spares:         g.intn(0, 4),
+		Eta:            g.intn(1, n),
+		LambdaPerHour:  g.uniform(1e-6, 1e-3),
+		PhiHours:       g.uniform(100, 50000),
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid capacity params: %v", err))
+	}
+	return p
+}

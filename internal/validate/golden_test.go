@@ -1,0 +1,140 @@
+package validate
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"satqos/internal/experiment"
+)
+
+// Regenerate the committed corpus with:
+//
+//	go test ./internal/validate -run TestGoldenCorpus -update
+var update = flag.Bool("update", false, "rewrite testdata/golden from the current implementation")
+
+const testdataGolden = "testdata/golden"
+
+// TestGoldenCorpus regenerates every golden spec and compares it to
+// the committed snapshot: exactly for the analytic figures, by
+// Wilson-interval overlap for the Monte-Carlo degraded sweeps. With
+// -update it rewrites the corpus instead.
+func TestGoldenCorpus(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(testdataGolden, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range GoldenSpecs() {
+			g, err := spec.Regenerate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(testdataGolden, spec.File())
+			if err := g.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", path)
+		}
+		return
+	}
+	if err := CheckCorpus(testdataGolden, nil, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldenWorkerInvariance pins the determinism contract end to end:
+// the corpus regenerates bit-identically whether the sweep points run
+// sequentially or eight wide.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	spec := GoldenSpecs()[3] // degraded-loss: Monte-Carlo, most scheduling-sensitive
+	old := experiment.Workers
+	t.Cleanup(func() { experiment.Workers = old })
+
+	experiment.Workers = 1
+	seq, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiment.Workers = 8
+	par, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSweepsEqual(seq, par); err != nil {
+		t.Errorf("workers 1 vs 8: %v", err)
+	}
+}
+
+// TestGoldenComparatorDetectsDrift proves the comparator fails loudly:
+// an analytic snapshot must reject a one-ulp-scale change, and a
+// Monte-Carlo snapshot must reject a drift beyond its confidence
+// interval while tolerating one within it.
+func TestGoldenComparatorDetectsDrift(t *testing.T) {
+	fig9, err := LoadGolden(filepath.Join(testdataGolden, "fig9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := perturbCopy(fig9, 0, 1e-12)
+	if err := CompareGolden(perturbed, fig9); err == nil {
+		t.Error("analytic comparison accepted a perturbed value")
+	}
+
+	mc, err := LoadGolden(filepath.Join(testdataGolden, "degraded-loss.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series 1 ("OAQ y>=2") sits mid-range, where the Wilson interval
+	// is widest — the hardest place to detect drift.
+	if err := CompareGolden(perturbCopy(mc, 1, 0.05), mc); err == nil {
+		t.Error("Monte-Carlo comparison accepted a drift far beyond its interval")
+	}
+	if err := CompareGolden(perturbCopy(mc, 1, 1e-4), mc); err != nil {
+		t.Errorf("Monte-Carlo comparison rejected a within-interval wobble: %v", err)
+	}
+	// A perturbation past 1 clamps back onto the committed estimate's
+	// interval when that estimate is already 1 (series 0 is "OAQ y>=1"
+	// at certainty); the comparator must still be immune to the
+	// degenerate case in the downward direction.
+	if err := CompareGolden(perturbCopy(mc, 0, -0.05), mc); err == nil {
+		t.Error("Monte-Carlo comparison accepted a downward drift from a certain estimate")
+	}
+}
+
+// perturbCopy deep-copies g and adds eps to series[idx]'s first value.
+func perturbCopy(g *Golden, idx int, eps float64) *Golden {
+	cp := *g
+	cp.Series = make([]GoldenSeries, len(g.Series))
+	for i, s := range g.Series {
+		cp.Series[i] = GoldenSeries{Name: s.Name, Values: append([]float64(nil), s.Values...)}
+	}
+	cp.Series[idx].Values[0] += eps
+	return &cp
+}
+
+func TestLoadGoldenRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-kind.json":    `{"name":"x","kind":"vibes","x":[1],"series":[]}`,
+		"no-episodes.json": `{"name":"x","kind":"montecarlo","x":[1],"series":[]}`,
+		"not-json.json":    `{`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadGolden(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadGolden(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file: accepted")
+	}
+}
+
+func TestCheckCorpusFilter(t *testing.T) {
+	if err := CheckCorpus(testdataGolden, map[string]bool{"no-such-spec": true}, 0); err == nil {
+		t.Error("empty filter match should be an error")
+	}
+}

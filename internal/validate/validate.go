@@ -1,0 +1,259 @@
+// Package validate is the repository's correctness-validation harness:
+// the structural invariants the paper's evaluation rests on, expressed
+// as checkable predicates, plus a seeded configuration generator
+// (generate.go) and a golden regression corpus with confidence-aware
+// comparison (golden.go).
+//
+// The invariants mirror the analytic structure of §4.2–§4.3:
+//
+//   - Eq. (3)'s composition P(Y = y) = Σ_k P(Y = y | k) P(k) must be a
+//     proper probability mass function, and the QoS measure P(Y ≥ y)
+//     derived from it a proper complementary CDF — equal to 1 at y = 0,
+//     nonincreasing in y, and within [0, 1] (CheckPMF).
+//   - The plane-capacity model's P(k) must be normalized over its
+//     support [η, N] (CheckCapacityDistribution).
+//   - Aggregated protocol evaluations must be internally consistent:
+//     fractions in range, one termination cause per episode, delivery
+//     implying detection (CheckEvaluation).
+//   - The crosslink fabric must conserve messages: every emitted
+//     message is delivered or dropped exactly once (CheckCrosslink).
+//   - Degradation sweeps must be monotone in the documented direction
+//     (CheckMonotoneNonIncreasing).
+//   - The sharded Monte-Carlo engine must be bit-identical at any
+//     worker count (CheckEvaluationsEqual, CheckSweepsEqual).
+//
+// Every predicate returns a descriptive error rather than failing a
+// *testing.T, so the same suite backs unit tests, the golden
+// comparator (cmd/goldencheck), and any future runtime self-checks.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"satqos/internal/capacity"
+	"satqos/internal/crosslink"
+	"satqos/internal/experiment"
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+)
+
+// probTol is the slack allowed on probability identities that are exact
+// in real arithmetic but accumulate float64 round-off (sums of a few
+// dozen terms).
+const probTol = 1e-9
+
+// CheckPMF verifies that the mass function is a proper distribution
+// over the QoS spectrum and that its complementary CDF P(Y ≥ y) has
+// the CDF structure the paper's figures rely on: 1 at y = 0,
+// nonincreasing in y, and within [0, 1] everywhere.
+func CheckPMF(p qos.PMF) error {
+	for l, v := range p {
+		if math.IsNaN(v) || v < -probTol || v > 1+probTol {
+			return fmt.Errorf("validate: P(Y=%d) = %g outside [0, 1]", l, v)
+		}
+	}
+	if total := p.Total(); math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("validate: total mass %g, want 1", total)
+	}
+	if c0 := p.CCDF(qos.LevelMiss); c0 != 1 {
+		return fmt.Errorf("validate: P(Y>=0) = %g, want exactly 1", c0)
+	}
+	prev := 1.0
+	for y := qos.LevelSingle; y <= qos.LevelSimultaneousDual; y++ {
+		c := p.CCDF(y)
+		if math.IsNaN(c) || c < -probTol || c > 1+probTol {
+			return fmt.Errorf("validate: P(Y>=%d) = %g outside [0, 1]", int(y), c)
+		}
+		if c > prev+probTol {
+			return fmt.Errorf("validate: P(Y>=%d) = %g exceeds P(Y>=%d) = %g (CCDF not nonincreasing)",
+				int(y), c, int(y)-1, prev)
+		}
+		prev = c
+	}
+	return nil
+}
+
+// CheckCapacityDistribution verifies normalization of the capacity
+// model's P(k): nonnegative mass confined to the support [η, N],
+// summing to 1, with a mean inside the support interval.
+func CheckCapacityDistribution(d *capacity.Distribution) error {
+	if d == nil {
+		return fmt.Errorf("validate: nil capacity distribution")
+	}
+	if d.Eta < 1 || d.N < d.Eta {
+		return fmt.Errorf("validate: support bounds [%d, %d] malformed", d.Eta, d.N)
+	}
+	var sum float64
+	for k := d.Eta; k <= d.N; k++ {
+		v := d.P(k)
+		if math.IsNaN(v) || v < -probTol || v > 1+probTol {
+			return fmt.Errorf("validate: P(K=%d) = %g outside [0, 1]", k, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("validate: Σ_k P(k) = %g over [%d, %d], want 1", sum, d.Eta, d.N)
+	}
+	for _, k := range d.Support() {
+		if k < d.Eta || k > d.N {
+			return fmt.Errorf("validate: support point k = %d outside [%d, %d]", k, d.Eta, d.N)
+		}
+	}
+	if m := d.Mean(); m < float64(d.Eta)-probTol || m > float64(d.N)+probTol {
+		return fmt.Errorf("validate: E[K] = %g outside support [%d, %d]", m, d.Eta, d.N)
+	}
+	return nil
+}
+
+// CheckEvaluation verifies the internal consistency of an aggregated
+// protocol evaluation: a well-formed empirical PMF, fractions in
+// range, delivery implying detection, exactly one termination cause
+// tallied per episode, and sane aggregate means.
+func CheckEvaluation(ev *oaq.Evaluation) error {
+	if ev == nil {
+		return fmt.Errorf("validate: nil evaluation")
+	}
+	if ev.Episodes <= 0 {
+		return fmt.Errorf("validate: episode count %d must be positive", ev.Episodes)
+	}
+	if err := CheckPMF(ev.PMF); err != nil {
+		return err
+	}
+	for name, v := range map[string]float64{
+		"delivered fraction": ev.DeliveredFraction,
+		"detected fraction":  ev.DetectedFraction,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1+probTol {
+			return fmt.Errorf("validate: %s %g outside [0, 1]", name, v)
+		}
+	}
+	if ev.DeliveredFraction > ev.DetectedFraction+probTol {
+		return fmt.Errorf("validate: delivered fraction %g exceeds detected fraction %g (delivery implies detection)",
+			ev.DeliveredFraction, ev.DetectedFraction)
+	}
+	var causes int
+	for term, n := range ev.Terminations {
+		if n <= 0 {
+			return fmt.Errorf("validate: termination %v tallied %d times", term, n)
+		}
+		causes += n
+	}
+	if causes != ev.Episodes {
+		return fmt.Errorf("validate: termination causes tally %d episodes, want %d (one cause per episode)",
+			causes, ev.Episodes)
+	}
+	if ev.MeanMessages < 0 || math.IsNaN(ev.MeanMessages) {
+		return fmt.Errorf("validate: mean messages %g negative", ev.MeanMessages)
+	}
+	if ev.DeliveredFraction > 0 {
+		if ev.MeanChainLength < 1 || math.IsNaN(ev.MeanChainLength) {
+			return fmt.Errorf("validate: mean chain length %g below 1 despite deliveries", ev.MeanChainLength)
+		}
+		if ev.MeanDeliveryLatency < -probTol || math.IsNaN(ev.MeanDeliveryLatency) {
+			return fmt.Errorf("validate: mean delivery latency %g negative", ev.MeanDeliveryLatency)
+		}
+	}
+	return nil
+}
+
+// CheckCrosslink verifies message conservation on a crosslink fabric at
+// quiescence: the accounting identity Sent == Delivered + DroppedLoss +
+// DroppedFailSilent + InFlight holds, no counter is negative, and no
+// message is still in flight.
+func CheckCrosslink(s crosslink.Stats) error {
+	for name, v := range map[string]int{
+		"Sent": s.Sent, "Delivered": s.Delivered, "DroppedLoss": s.DroppedLoss,
+		"DroppedFailSilent": s.DroppedFailSilent, "SuppressedFailSilent": s.SuppressedFailSilent,
+		"InFlight": s.InFlight,
+	} {
+		if v < 0 {
+			return fmt.Errorf("validate: crosslink counter %s = %d negative", name, v)
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return err
+	}
+	if s.InFlight != 0 {
+		return fmt.Errorf("validate: %d messages still in flight at quiescence (%+v)", s.InFlight, s)
+	}
+	return nil
+}
+
+// CheckMonotoneNonIncreasing verifies that the series never rises by
+// more than tol between consecutive points — the documented direction
+// of every degradation sweep (QoS mass cannot grow with injected loss
+// or fail-silence under common random numbers).
+func CheckMonotoneNonIncreasing(label string, values []float64, tol float64) error {
+	for i := 1; i < len(values); i++ {
+		if math.IsNaN(values[i]) {
+			return fmt.Errorf("validate: %s: NaN at point %d", label, i)
+		}
+		if values[i] > values[i-1]+tol {
+			return fmt.Errorf("validate: %s: rises at point %d: %g -> %g (tol %g)",
+				label, i, values[i-1], values[i], tol)
+		}
+	}
+	return nil
+}
+
+// CheckEvaluationsEqual verifies that two evaluations are bit-identical
+// — the determinism contract of the sharded Monte-Carlo engine across
+// worker counts.
+func CheckEvaluationsEqual(a, b *oaq.Evaluation) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("validate: nil evaluation")
+	}
+	if a.Episodes != b.Episodes {
+		return fmt.Errorf("validate: episode counts differ: %d vs %d", a.Episodes, b.Episodes)
+	}
+	if a.PMF != b.PMF {
+		return fmt.Errorf("validate: PMFs differ: %v vs %v", a.PMF, b.PMF)
+	}
+	if a.DeliveredFraction != b.DeliveredFraction || a.DetectedFraction != b.DetectedFraction ||
+		a.MeanChainLength != b.MeanChainLength || a.MeanMessages != b.MeanMessages ||
+		a.MeanDeliveryLatency != b.MeanDeliveryLatency {
+		return fmt.Errorf("validate: aggregate means differ: %+v vs %+v", a, b)
+	}
+	if len(a.Terminations) != len(b.Terminations) {
+		return fmt.Errorf("validate: termination maps differ: %v vs %v", a.Terminations, b.Terminations)
+	}
+	for term, n := range a.Terminations {
+		if b.Terminations[term] != n {
+			return fmt.Errorf("validate: termination %v count differs: %d vs %d", term, n, b.Terminations[term])
+		}
+	}
+	return nil
+}
+
+// CheckSweepsEqual verifies that two sweeps carry bit-identical axes
+// and series values.
+func CheckSweepsEqual(a, b *experiment.Sweep) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("validate: nil sweep")
+	}
+	if len(a.X) != len(b.X) || len(a.Series) != len(b.Series) {
+		return fmt.Errorf("validate: sweep shapes differ: %dx%d vs %dx%d",
+			len(a.X), len(a.Series), len(b.X), len(b.Series))
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			return fmt.Errorf("validate: x[%d] differs: %v vs %v", i, a.X[i], b.X[i])
+		}
+	}
+	for j := range a.Series {
+		if a.Series[j].Name != b.Series[j].Name {
+			return fmt.Errorf("validate: series %d names differ: %q vs %q", j, a.Series[j].Name, b.Series[j].Name)
+		}
+		if len(a.Series[j].Values) != len(b.Series[j].Values) {
+			return fmt.Errorf("validate: series %q lengths differ", a.Series[j].Name)
+		}
+		for i := range a.Series[j].Values {
+			av, bv := a.Series[j].Values[i], b.Series[j].Values[i]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				return fmt.Errorf("validate: series %q point %d differs: %v vs %v", a.Series[j].Name, i, av, bv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package validate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satqos/internal/crosslink"
+	"satqos/internal/des"
+	"satqos/internal/experiment"
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+func TestCheckPMF(t *testing.T) {
+	good := []qos.PMF{
+		{1, 0, 0, 0},
+		{0.1, 0.2, 0.3, 0.4},
+		{0, 0, 0, 1},
+	}
+	for _, p := range good {
+		if err := CheckPMF(p); err != nil {
+			t.Errorf("CheckPMF(%v): %v", p, err)
+		}
+	}
+	bad := []struct {
+		name string
+		p    qos.PMF
+	}{
+		{"negative mass", qos.PMF{-0.1, 0.5, 0.3, 0.3}},
+		{"short total", qos.PMF{0.1, 0.2, 0.3, 0.3}},
+		{"excess total", qos.PMF{0.5, 0.5, 0.5, 0.5}},
+	}
+	for _, c := range bad {
+		if err := CheckPMF(c.p); err == nil {
+			t.Errorf("CheckPMF accepted %s: %v", c.name, c.p)
+		}
+	}
+}
+
+// TestPropertyCapacityNormalized drives the analytic capacity solver
+// over generated parameterizations and asserts P(k) is a normalized
+// distribution on [η, N] every time.
+func TestPropertyCapacityNormalized(t *testing.T) {
+	const seed = 7
+	g := NewGen(seed, 0)
+	for i := 0; i < 40; i++ {
+		p := g.CapacityParams()
+		d, err := p.Analytic()
+		if err != nil {
+			t.Fatalf("seed %d draw %d: Analytic(%+v): %v", seed, i, p, err)
+		}
+		if err := CheckCapacityDistribution(d); err != nil {
+			t.Fatalf("seed %d draw %d: %+v: %v", seed, i, p, err)
+		}
+	}
+}
+
+// TestPropertyEvaluationConsistent drives the protocol simulator over
+// generated parameterizations and asserts every aggregate evaluation
+// satisfies the consistency invariants, and that worker count never
+// changes the result bit.
+func TestPropertyEvaluationConsistent(t *testing.T) {
+	const seed = 11
+	g := NewGen(seed, 0)
+	for i := 0; i < 24; i++ {
+		p := g.Params()
+		ev, err := oaq.EvaluateParallel(p, 300, uint64(1000+i), 4)
+		if err != nil {
+			t.Fatalf("seed %d draw %d: evaluate: %v", seed, i, err)
+		}
+		if err := CheckEvaluation(ev); err != nil {
+			t.Fatalf("seed %d draw %d (%+v): %v", seed, i, p, err)
+		}
+		if i%6 == 0 { // worker invariance is slower; spot-check
+			ev1, err := oaq.EvaluateParallel(p, 300, uint64(1000+i), 1)
+			if err != nil {
+				t.Fatalf("seed %d draw %d: single-worker evaluate: %v", seed, i, err)
+			}
+			if err := CheckEvaluationsEqual(ev, ev1); err != nil {
+				t.Fatalf("seed %d draw %d: workers 4 vs 1: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestPropertyCrosslinkConservation exercises the crosslink fabric with
+// random traffic, loss, and fail-silence, and asserts message
+// conservation at quiescence.
+func TestPropertyCrosslinkConservation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := stats.NewRNG(23, uint64(trial))
+		sim := &des.Simulation{}
+		net, err := crosslink.NewNetwork(sim, crosslink.Config{
+			MaxDelayMin: 0.01 + rng.Float64(),
+			LossProb:    rng.Float64(),
+		}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		const nodes = 4
+		for id := crosslink.NodeID(1); id <= nodes; id++ {
+			if err := net.Register(id, func(now float64, msg crosslink.Message) {}); err != nil {
+				t.Fatalf("trial %d: register %d: %v", trial, id, err)
+			}
+		}
+		if rng.Float64() < 0.5 {
+			net.SetFailSilent(crosslink.NodeID(1+rng.Intn(nodes)), true)
+		}
+		sends := 1 + rng.Intn(50)
+		for i := 0; i < sends; i++ {
+			from := crosslink.NodeID(1 + rng.Intn(nodes))
+			to := crosslink.NodeID(1 + rng.Intn(nodes))
+			if from == to {
+				continue
+			}
+			if err := net.Send(from, to, "probe", i); err != nil {
+				t.Fatalf("trial %d: send: %v", trial, err)
+			}
+		}
+		sim.Run(1e9) // drain every in-flight delivery
+		if err := CheckCrosslink(net.Stats()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckCrosslinkRejects(t *testing.T) {
+	if err := CheckCrosslink(crosslink.Stats{Sent: 3, Delivered: 1}); err == nil {
+		t.Error("accepted stats violating the accounting identity")
+	}
+	if err := CheckCrosslink(crosslink.Stats{Sent: 1, InFlight: 1}); err == nil {
+		t.Error("accepted in-flight messages at quiescence")
+	}
+	if err := CheckCrosslink(crosslink.Stats{Sent: -1, Delivered: -1}); err == nil {
+		t.Error("accepted negative counters")
+	}
+}
+
+// TestDegradationMonotone asserts every series of the committed
+// degraded-mode corpus is nonincreasing in its severity axis. The
+// corpus is bit-pinned to the live implementation by TestGoldenCorpus,
+// so this is a deterministic check of the sweeps themselves — at the
+// corpus' default severity steps the true degradation per step
+// dominates the residual common-random-numbers noise (see the step
+// discussion in experiment.DegradedLossSweep).
+func TestDegradationMonotone(t *testing.T) {
+	for _, name := range []string{"degraded-loss", "degraded-failsilent"} {
+		g, err := LoadGolden(filepath.Join(testdataGolden, name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range g.Series {
+			if err := CheckMonotoneNonIncreasing(g.Name+"/"+s.Name, s.Values, 1e-9); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestCheckMonotoneNonIncreasing(t *testing.T) {
+	if err := CheckMonotoneNonIncreasing("flat", []float64{0.5, 0.5, 0.5}, 0); err != nil {
+		t.Errorf("flat series rejected: %v", err)
+	}
+	if err := CheckMonotoneNonIncreasing("falling", []float64{0.9, 0.5, 0.1}, 0); err != nil {
+		t.Errorf("falling series rejected: %v", err)
+	}
+	err := CheckMonotoneNonIncreasing("rising", []float64{0.1, 0.5}, 0.01)
+	if err == nil || !strings.Contains(err.Error(), "rises at point 1") {
+		t.Errorf("rising series: got %v", err)
+	}
+}
+
+func TestCheckEvaluationsEqualDetectsDrift(t *testing.T) {
+	p := oaq.ReferenceParams(10, qos.SchemeOAQ)
+	ev, err := oaq.EvaluateParallel(p, 200, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEvaluationsEqual(ev, ev); err != nil {
+		t.Fatalf("evaluation unequal to itself: %v", err)
+	}
+	drifted := *ev
+	drifted.PMF[qos.LevelMiss] += 1e-12
+	if err := CheckEvaluationsEqual(ev, &drifted); err == nil {
+		t.Error("one-ulp PMF drift not detected")
+	}
+	drifted = *ev
+	drifted.MeanMessages += 1e-9
+	if err := CheckEvaluationsEqual(ev, &drifted); err == nil {
+		t.Error("mean-messages drift not detected")
+	}
+}
+
+func TestCheckSweepsEqual(t *testing.T) {
+	a := &experiment.Sweep{
+		X:      []float64{1, 2},
+		Series: []experiment.Series{{Name: "s", Values: []float64{0.5, 0.25}}},
+	}
+	b := &experiment.Sweep{
+		X:      []float64{1, 2},
+		Series: []experiment.Series{{Name: "s", Values: []float64{0.5, 0.25}}},
+	}
+	if err := CheckSweepsEqual(a, b); err != nil {
+		t.Fatalf("identical sweeps unequal: %v", err)
+	}
+	b.Series[0].Values[1] += 1e-15
+	if err := CheckSweepsEqual(a, b); err == nil {
+		t.Error("value drift not detected")
+	}
+	b.Series[0].Values[1] = 0.25
+	b.Series[0].Name = "t"
+	if err := CheckSweepsEqual(a, b); err == nil {
+		t.Error("series rename not detected")
+	}
+}
+
+func TestCheckEvaluationRejects(t *testing.T) {
+	if err := CheckEvaluation(nil); err == nil {
+		t.Error("accepted nil evaluation")
+	}
+	ev := &oaq.Evaluation{
+		Episodes:     10,
+		PMF:          qos.PMF{0.5, 0.5, 0, 0},
+		Terminations: map[oaq.Termination]int{oaq.TermNone: 9}, // one episode unaccounted
+	}
+	if err := CheckEvaluation(ev); err == nil {
+		t.Error("accepted termination tally short of episode count")
+	}
+	ev.Terminations[oaq.TermNone] = 10
+	ev.DeliveredFraction = 0.8
+	ev.DetectedFraction = 0.5
+	ev.MeanChainLength = 1
+	if err := CheckEvaluation(ev); err == nil {
+		t.Error("accepted delivery exceeding detection")
+	}
+}
