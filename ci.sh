@@ -53,6 +53,27 @@ if go run ./cmd/goldencheck -only fig9 -perturb 0.05; then
     exit 1
 fi
 
+# Allocation gate: the steady-state episode hot path has a committed
+# budget of 0 allocs/op (BENCH_PR5.json). A single fixed-count bench
+# run is timing-noisy but its allocation counts are exact, so gate on
+# allocs/op only; ns/op trends live in the committed BENCH_*.json
+# records, which benchdiff cross-checks for internal consistency.
+alloc_budget=0
+go test -run '^$' -bench '^BenchmarkProtocolEpisode$' -benchmem -benchtime 200x . |
+    tee "$tmpdir/bench.txt"
+awk -v budget="$alloc_budget" '
+    /^BenchmarkProtocolEpisode/ {
+        seen = 1
+        allocs = $(NF - 1) + 0
+        if (allocs > budget) {
+            print "allocs/op", allocs, "exceeds budget", budget; bad = 1
+        }
+    }
+    END { if (!seen) { print "benchmark did not run"; bad = 1 }; exit bad }
+' "$tmpdir/bench.txt"
+go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
+    BENCH_PR5.json BENCH_PR5.json
+
 # Fuzz smoke tier: a short live fuzz of every target, beyond the
 # committed seed corpora (which plain `go test` already replays).
 go test -run='^$' -fuzz='^FuzzScenarioJSON$' -fuzztime=5s ./internal/fault

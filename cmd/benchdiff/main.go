@@ -1,0 +1,184 @@
+// Command benchdiff compares two committed benchmark records
+// (BENCH_*.json) and reports, per benchmark present in both, the change
+// in ns/op, B/op, and allocs/op. It is the review companion of the
+// perf-tracking convention: each PR that claims a performance change
+// commits its numbers, and benchdiff turns two such files into a
+// deltas table plus optional hard gates.
+//
+// Benchmarks are matched by the first whitespace-delimited token of
+// their name (the Go benchmark identifier), so parenthetical
+// annotations — "BenchmarkFoo (4096 episodes, k=10)" — do not defeat
+// cross-PR matching. Within a record the "after" block is the PR's
+// final state and is preferred; "before" is used when no after exists.
+//
+// Exit status is non-zero when a gate fails:
+//
+//	-max-alloc-regress n   fail if any common benchmark gained more
+//	                       than n allocs/op
+//	-min-speedup x         fail unless at least one common benchmark
+//	                       sped up by a factor >= x
+//	-require-overlap       fail when the records share no benchmark
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+// metrics is one measured state of a benchmark.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchmark is one entry of a record's benchmarks list.
+type benchmark struct {
+	Name   string   `json:"name"`
+	Before *metrics `json:"before"`
+	After  *metrics `json:"after"`
+}
+
+// record is the committed BENCH_*.json shape (unknown fields ignored).
+type record struct {
+	PR         int         `json:"pr"`
+	Title      string      `json:"title"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// final returns the benchmark's settled measurement: the after block
+// when present, otherwise before.
+func (b benchmark) final() *metrics {
+	if b.After != nil {
+		return b.After
+	}
+	return b.Before
+}
+
+// key canonicalizes a benchmark name to its Go identifier.
+func key(name string) string {
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func load(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// row is one matched benchmark's delta.
+type row struct {
+	name     string
+	old, new *metrics
+}
+
+func (r row) speedup() float64 {
+	if r.new.NsPerOp == 0 {
+		return math.Inf(1)
+	}
+	return r.old.NsPerOp / r.new.NsPerOp
+}
+
+func (r row) allocDelta() float64 { return r.new.AllocsPerOp - r.old.AllocsPerOp }
+
+// diff matches the two records' benchmarks by canonical name, in the
+// new record's order.
+func diff(oldRec, newRec *record) []row {
+	olds := make(map[string]*metrics)
+	for _, b := range oldRec.Benchmarks {
+		if m := b.final(); m != nil {
+			olds[key(b.Name)] = m
+		}
+	}
+	var rows []row
+	for _, b := range newRec.Benchmarks {
+		m := b.final()
+		if m == nil {
+			continue
+		}
+		if prev, ok := olds[key(b.Name)]; ok {
+			rows = append(rows, row{name: key(b.Name), old: prev, new: m})
+		}
+	}
+	return rows
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	maxAllocRegress := fs.Float64("max-alloc-regress", math.Inf(1),
+		"fail if any common benchmark gains more than this many allocs/op")
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"fail unless at least one common benchmark speeds up by this factor")
+	requireOverlap := fs.Bool("require-overlap", false,
+		"fail when the two records share no benchmark")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		return 2
+	}
+	oldRec, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	newRec, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+
+	rows := diff(oldRec, newRec)
+	fmt.Fprintf(out, "benchdiff: PR %d (%s) -> PR %d (%s)\n",
+		oldRec.PR, fs.Arg(0), newRec.PR, fs.Arg(1))
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "benchdiff: no benchmark appears in both records")
+		if *requireOverlap {
+			return 1
+		}
+		return 0
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op\t\tspeedup\tB/op\t\tallocs/op\t")
+	bestSpeedup, worstAllocRegress := 0.0, math.Inf(-1)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f -> %.0f\t\t%.2fx\t%.0f -> %.0f\t\t%.0f -> %.0f (%+.0f)\t\n",
+			r.name, r.old.NsPerOp, r.new.NsPerOp, r.speedup(),
+			r.old.BytesPerOp, r.new.BytesPerOp,
+			r.old.AllocsPerOp, r.new.AllocsPerOp, r.allocDelta())
+		bestSpeedup = math.Max(bestSpeedup, r.speedup())
+		worstAllocRegress = math.Max(worstAllocRegress, r.allocDelta())
+	}
+	w.Flush()
+
+	status := 0
+	if worstAllocRegress > *maxAllocRegress {
+		fmt.Fprintf(out, "benchdiff: FAIL: allocs/op regressed by %.0f (budget %.0f)\n",
+			worstAllocRegress, *maxAllocRegress)
+		status = 1
+	}
+	if *minSpeedup > 0 && bestSpeedup < *minSpeedup {
+		fmt.Fprintf(out, "benchdiff: FAIL: best speedup %.2fx below required %.2fx\n",
+			bestSpeedup, *minSpeedup)
+		status = 1
+	}
+	return status
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldJSON = `{
+  "pr": 2,
+  "title": "old record",
+  "benchmarks": [
+    {"name": "BenchmarkProtocolEpisode (single OAQ episode)",
+     "after": {"ns_per_op": 3308, "bytes_per_op": 2100, "allocs_per_op": 43}},
+    {"name": "BenchmarkSimVsAnalytic",
+     "after": {"ns_per_op": 22400000, "bytes_per_op": 9000000, "allocs_per_op": 146211}},
+    {"name": "BenchmarkOnlyInOld",
+     "after": {"ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 0}}
+  ]
+}`
+
+const newJSON = `{
+  "pr": 5,
+  "title": "new record",
+  "benchmarks": [
+    {"name": "BenchmarkProtocolEpisode (steady-state pooled runner)",
+     "before": {"ns_per_op": 3308, "bytes_per_op": 2100, "allocs_per_op": 43},
+     "after": {"ns_per_op": 622, "bytes_per_op": 0, "allocs_per_op": 0}},
+    {"name": "BenchmarkSimVsAnalytic",
+     "after": {"ns_per_op": 7000000, "bytes_per_op": 84430, "allocs_per_op": 876}},
+    {"name": "BenchmarkOnlyInNew",
+     "after": {"ns_per_op": 5, "bytes_per_op": 0, "allocs_per_op": 0}}
+  ]
+}`
+
+func writeRecords(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath = filepath.Join(dir, "old.json")
+	newPath = filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return oldPath, newPath
+}
+
+// capture runs run() with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args []string) (string, int) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	status := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), status
+}
+
+func TestDiffMatchesByCanonicalName(t *testing.T) {
+	oldPath, newPath := writeRecords(t)
+	out, status := capture(t, []string{oldPath, newPath})
+	if status != 0 {
+		t.Fatalf("status %d, want 0\n%s", status, out)
+	}
+	// Annotated names on both sides still match on the identifier.
+	if !strings.Contains(out, "BenchmarkProtocolEpisode") {
+		t.Errorf("missing ProtocolEpisode row:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkSimVsAnalytic") {
+		t.Errorf("missing SimVsAnalytic row:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkOnlyInOld") || strings.Contains(out, "BenchmarkOnlyInNew") {
+		t.Errorf("unmatched benchmarks leaked into the table:\n%s", out)
+	}
+	if !strings.Contains(out, "5.32x") {
+		t.Errorf("expected 3308/622 = 5.32x speedup in output:\n%s", out)
+	}
+	if !strings.Contains(out, "(-43)") {
+		t.Errorf("expected allocs delta -43 in output:\n%s", out)
+	}
+}
+
+func TestAllocRegressGate(t *testing.T) {
+	oldPath, newPath := writeRecords(t)
+	// New→old direction regresses allocs by +43 and +145335.
+	out, status := capture(t, []string{"-max-alloc-regress", "0", newPath, oldPath})
+	if status != 1 {
+		t.Fatalf("status %d, want 1 (alloc regression)\n%s", status, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("expected FAIL line:\n%s", out)
+	}
+	// Forward direction improves allocs, so the same gate passes.
+	out, status = capture(t, []string{"-max-alloc-regress", "0", oldPath, newPath})
+	if status != 0 {
+		t.Fatalf("status %d, want 0\n%s", status, out)
+	}
+}
+
+func TestMinSpeedupGate(t *testing.T) {
+	oldPath, newPath := writeRecords(t)
+	out, status := capture(t, []string{"-min-speedup", "1.5", oldPath, newPath})
+	if status != 0 {
+		t.Fatalf("status %d, want 0 (best speedup 5.3x)\n%s", status, out)
+	}
+	out, status = capture(t, []string{"-min-speedup", "100", oldPath, newPath})
+	if status != 1 {
+		t.Fatalf("status %d, want 1 (no 100x speedup)\n%s", status, out)
+	}
+}
+
+func TestNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(a, []byte(`{"pr":1,"benchmarks":[{"name":"BenchmarkA","after":{"ns_per_op":1}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`{"pr":2,"benchmarks":[{"name":"BenchmarkB","after":{"ns_per_op":1}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, status := capture(t, []string{a, b})
+	if status != 0 {
+		t.Fatalf("status %d, want 0 without -require-overlap\n%s", status, out)
+	}
+	if !strings.Contains(out, "no benchmark appears in both") {
+		t.Errorf("expected no-overlap notice:\n%s", out)
+	}
+	_, status = capture(t, []string{"-require-overlap", a, b})
+	if status != 1 {
+		t.Fatalf("status %d, want 1 with -require-overlap", status)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, status := capture(t, []string{"only-one.json"}); status != 2 {
+		t.Errorf("one arg: status %d, want 2", status)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := capture(t, []string{bad, bad}); status != 1 {
+		t.Errorf("malformed json: status %d, want 1", status)
+	}
+	if _, status := capture(t, []string{filepath.Join(dir, "missing.json"), bad}); status != 1 {
+		t.Errorf("missing file: status %d, want 1", status)
+	}
+}

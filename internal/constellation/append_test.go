@@ -1,0 +1,69 @@
+package constellation
+
+import (
+	"testing"
+
+	"satqos/internal/orbit"
+)
+
+// TestAppendCoveringSatellitesMatches: the buffer-reusing scan is
+// element-for-element identical to CoveringSatellites — same plane-major
+// order, same views — including when the destination buffer is recycled
+// across calls and after a plane degrades.
+func TestAppendCoveringSatellitesMatches(t *testing.T) {
+	c := mustNew(t)
+	target, err := orbit.FromDegrees(30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []SatView
+	for i, tm := range []float64{0, 3.7, 45, 89.95} {
+		if i == 2 {
+			// Degrade a plane mid-sequence so the scan tracks ActiveCount.
+			p, _ := c.Plane(3)
+			for j := 0; j < 4; j++ {
+				if err := p.FailActive(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := c.CoveringSatellites(target, tm)
+		buf = c.AppendCoveringSatellites(buf[:0], target, tm)
+		if len(buf) != len(want) {
+			t.Fatalf("t=%g: %d views, want %d", tm, len(buf), len(want))
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("t=%g view %d:\nappend: %+v\nfresh:  %+v", tm, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAppendCoveringSatellitesZeroAlloc: once the buffer has grown to
+// fleet size, a scan step performs no heap allocations — the property
+// the mission engine's per-episode scratch relies on.
+func TestAppendCoveringSatellitesZeroAlloc(t *testing.T) {
+	c := mustNew(t)
+	target, err := orbit.FromDegrees(30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := c.AppendCoveringSatellites(nil, target, 0) // grow once
+	tm := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		tm += 0.05
+		buf = c.AppendCoveringSatellites(buf[:0], target, tm)
+	})
+	if allocs != 0 {
+		t.Errorf("scan step allocates %v times, want 0", allocs)
+	}
+	n := 0
+	allocs = testing.AllocsPerRun(100, func() {
+		n += c.SimultaneousCoverageCount(target, tm)
+	})
+	if allocs != 0 {
+		t.Errorf("SimultaneousCoverageCount allocates %v times, want 0", allocs)
+	}
+	_ = n
+}

@@ -149,31 +149,47 @@ type SatView struct {
 // target at time t, ordered plane-major. Callers filter on Covers for
 // simultaneous-coverage questions.
 func (c *Constellation) CoveringSatellites(target orbit.LatLon, t float64) []SatView {
-	var views []SatView
+	return c.AppendCoveringSatellites(nil, target, t)
+}
+
+// AppendCoveringSatellites appends every active satellite's view of the
+// target at time t to dst and returns the extended slice, in the same
+// plane-major order as CoveringSatellites. Passing a reused buffer
+// (dst[:0]) makes repeated coverage scans — the mission engine queries
+// every coverScanStep — allocation-free once the buffer has grown to
+// the fleet size.
+func (c *Constellation) AppendCoveringSatellites(dst []SatView, target orbit.LatLon, t float64) []SatView {
 	for pi, p := range c.planes {
-		for si, o := range p.ActiveOrbits() {
+		half := p.Footprint().HalfAngle
+		for si := 0; si < p.ActiveCount(); si++ {
+			o := p.ActiveOrbit(si)
 			sub := o.SubSatellite(t)
 			sep := orbit.GreatCircle(sub, target)
-			views = append(views, SatView{
+			dst = append(dst, SatView{
 				Plane:        pi,
 				Index:        si,
 				SubPoint:     sub,
 				Separation:   sep,
-				Covers:       sep <= p.Footprint().HalfAngle,
+				Covers:       sep <= half,
 				SlantRangeKm: orbit.SlantRangeKm(o, sep),
 			})
 		}
 	}
-	return views
+	return dst
 }
 
 // SimultaneousCoverageCount returns how many active satellites cover the
-// target at time t.
+// target at time t. It scans the fleet directly, without materializing
+// the views.
 func (c *Constellation) SimultaneousCoverageCount(target orbit.LatLon, t float64) int {
 	n := 0
-	for _, v := range c.CoveringSatellites(target, t) {
-		if v.Covers {
-			n++
+	for _, p := range c.planes {
+		half := p.Footprint().HalfAngle
+		for si := 0; si < p.ActiveCount(); si++ {
+			sub := p.ActiveOrbit(si).SubSatellite(t)
+			if orbit.GreatCircle(sub, target) <= half {
+				n++
+			}
 		}
 	}
 	return n

@@ -116,10 +116,20 @@ func (p *Plane) referenceOrbit(phase float64) orbit.CircularOrbit {
 func (p *Plane) ActiveOrbits() []orbit.CircularOrbit {
 	orbits := make([]orbit.CircularOrbit, p.active)
 	for i := range orbits {
-		phase := p.phaseRef + 2*math.Pi*float64(i)/float64(p.active)
-		orbits[i] = p.referenceOrbit(phase)
+		orbits[i] = p.ActiveOrbit(i)
 	}
 	return orbits
+}
+
+// ActiveOrbit returns the orbit of active satellite i without
+// materializing the whole ring — the allocation-free counterpart of
+// ActiveOrbits()[i] for per-satellite queries in scan loops.
+func (p *Plane) ActiveOrbit(i int) orbit.CircularOrbit {
+	if i < 0 || i >= p.active {
+		panic(fmt.Sprintf("constellation: active satellite %d out of range [0, %d)", i, p.active))
+	}
+	phase := p.phaseRef + 2*math.Pi*float64(i)/float64(p.active)
+	return p.referenceOrbit(phase)
 }
 
 // FailActive removes one active satellite. If an in-orbit spare remains

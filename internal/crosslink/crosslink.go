@@ -87,19 +87,49 @@ func (s Stats) CheckInvariant() error {
 }
 
 // Network is a crosslink fabric bound to a discrete-event simulation.
+//
+// Node state is kept in dense slices indexed by NodeID+1 (so the ground
+// station's -1 maps to slot 0): the episode engines register the same
+// small contiguous ID range every episode, and indexed reset-in-place
+// buffers make Register/FailSilent/Send plain array accesses with no
+// hashing and no steady-state allocation.
 type Network struct {
 	sim          *des.Simulation
 	rng          *stats.RNG
 	delta        float64
 	lossProb     float64
 	baseLossProb float64
-	handlers     map[NodeID]Handler
-	failSilent   map[NodeID]bool
-	stats        Stats
-	delayHist    *obs.LocalHistogram
+	// handlers and failSilent are indexed by slot (NodeID+1) and grown on
+	// demand; Reset clears them in place.
+	handlers   []Handler
+	failSilent []bool
+	stats      Stats
+	delayHist  *obs.LocalHistogram
 	// epoch fences delivery events across Reset: a message emitted before
 	// a Reset must neither deliver nor touch the fresh epoch's books.
 	epoch uint64
+	// pooling recycles fired delivery envelopes through free (see
+	// EnableMessagePooling); kindLabels memoizes the per-kind event label
+	// so the hot path never rebuilds the string.
+	pooling    bool
+	free       []*delivery
+	kindLabels map[string]string
+}
+
+// delivery is one in-flight message envelope: the unit the message
+// freelist recycles. Its epoch pins the Network generation the message
+// was sent in, mirroring the epoch fence of the closure-based path.
+type delivery struct {
+	n     *Network
+	msg   Message
+	epoch uint64
+}
+
+// deliverEvent is the package-level dispatch target for in-flight
+// messages (des.ArgHandler form: no per-message closure).
+func deliverEvent(now float64, arg any) {
+	d := arg.(*delivery)
+	d.n.deliver(now, d)
 }
 
 // SetDelayHistogram installs a per-shard histogram that observes each
@@ -138,9 +168,43 @@ func NewNetwork(sim *des.Simulation, cfg Config, rng *stats.RNG) (*Network, erro
 		delta:        cfg.MaxDelayMin,
 		lossProb:     cfg.LossProb,
 		baseLossProb: cfg.LossProb,
-		handlers:     make(map[NodeID]Handler),
-		failSilent:   make(map[NodeID]bool),
+		kindLabels:   make(map[string]string),
 	}, nil
+}
+
+// EnableMessagePooling turns on recycling of fired delivery envelopes:
+// each message's in-flight storage returns to a freelist that Send draws
+// from, making the steady-state send path allocation-free. Pooling never
+// changes behavior — the epoch fence already guarantees that a recycled
+// envelope of a dead epoch cannot deliver — so pooled and unpooled runs
+// produce identical Stats (see TestPoolingConservation). It is opt-in
+// for symmetry with des.EnableEventReuse.
+func (n *Network) EnableMessagePooling() { n.pooling = true }
+
+// slot maps a NodeID to its dense index. IDs below the ground station's
+// -1 would need a second offset rebase; no caller uses them, so they are
+// rejected as a wiring bug.
+func slot(id NodeID) int {
+	if id < GroundStation {
+		panic(fmt.Sprintf("crosslink: node ID %d below GroundStation (-1)", id))
+	}
+	return int(id) + 1
+}
+
+// growTo ensures the node-state slices cover slot i.
+func (n *Network) growTo(i int) {
+	for len(n.handlers) <= i {
+		n.handlers = append(n.handlers, nil)
+		n.failSilent = append(n.failSilent, false)
+	}
+}
+
+// handlerOf returns the registered handler for id (nil when none).
+func (n *Network) handlerOf(id NodeID) Handler {
+	if i := slot(id); i < len(n.handlers) {
+		return n.handlers[i]
+	}
+	return nil
 }
 
 // MaxDelay returns δ.
@@ -163,9 +227,10 @@ func (n *Network) SetLossProb(p float64) {
 // Reset clears the handler registrations, fail-silence marks, and
 // counters, restores the configured base loss probability, and fences
 // off any still-scheduled deliveries of the previous epoch (they will
-// neither deliver nor touch the fresh counters), keeping the map
+// neither deliver nor touch the fresh counters), keeping the slice
 // storage so the network can host a fresh episode on the same (reset)
-// simulation without reallocating.
+// simulation without reallocating. The delivery freelist survives Reset
+// — it belongs to the network, not the epoch.
 func (n *Network) Reset() {
 	clear(n.handlers)
 	clear(n.failSilent)
@@ -180,7 +245,9 @@ func (n *Network) Register(id NodeID, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("crosslink: nil handler for node %d", id)
 	}
-	n.handlers[id] = h
+	i := slot(id)
+	n.growTo(i)
+	n.handlers[i] = h
 	return nil
 }
 
@@ -188,11 +255,18 @@ func (n *Network) Register(id NodeID, h Handler) error {
 // nor processes messages, without any indication to its peers — the
 // failure mode the backward-messaging variant of the protocol tolerates.
 func (n *Network) SetFailSilent(id NodeID, silent bool) {
-	n.failSilent[id] = silent
+	i := slot(id)
+	n.growTo(i)
+	n.failSilent[i] = silent
 }
 
 // FailSilent reports the node's current failure state.
-func (n *Network) FailSilent(id NodeID) bool { return n.failSilent[id] }
+func (n *Network) FailSilent(id NodeID) bool {
+	if i := slot(id); i < len(n.failSilent) {
+		return n.failSilent[i]
+	}
+	return false
+}
 
 // Send queues a message for delivery after a uniform delay in (0, δ].
 // Messages from fail-silent nodes are never emitted (counted as
@@ -201,15 +275,15 @@ func (n *Network) FailSilent(id NodeID) bool { return n.failSilent[id] }
 // unregistered node is an error (a wiring bug, not a runtime
 // condition).
 func (n *Network) Send(from, to NodeID, kind string, payload any) error {
-	if _, ok := n.handlers[to]; !ok && !n.failSilent[to] {
+	if n.handlerOf(to) == nil && !n.FailSilent(to) {
 		return fmt.Errorf("crosslink: send to unregistered node %d", to)
 	}
-	if n.failSilent[from] {
+	if n.FailSilent(from) {
 		n.stats.SuppressedFailSilent++
 		return nil
 	}
 	n.stats.Sent++
-	if n.failSilent[to] {
+	if n.FailSilent(to) {
 		n.stats.DroppedFailSilent++
 		return nil
 	}
@@ -217,32 +291,64 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 		n.stats.DroppedLoss++
 		return nil
 	}
-	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sim.Now()}
 	delay := n.delta * (1 - n.rng.Float64()) // in (0, δ]
 	n.stats.InFlight++
-	epoch := n.epoch
-	n.sim.Schedule(delay, "crosslink:"+kind, func(now float64) {
-		if n.epoch != epoch {
-			// The network was Reset while the message was in flight: it
-			// belongs to a dead epoch and must not skew the fresh books.
-			return
-		}
-		n.stats.InFlight--
-		// Fail-silence may have begun after the send.
-		if n.failSilent[msg.To] {
-			n.stats.DroppedFailSilent++
-			return
-		}
-		h, ok := n.handlers[msg.To]
-		if !ok {
-			n.stats.DroppedFailSilent++
-			return
-		}
-		n.stats.Delivered++
-		n.delayHist.Observe(now - msg.SentAt)
-		h(now, msg)
-	})
+	var d *delivery
+	if m := len(n.free); m > 0 {
+		d = n.free[m-1]
+		n.free[m-1] = nil
+		n.free = n.free[:m-1]
+	} else {
+		d = &delivery{}
+	}
+	d.n = n
+	d.msg = Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sim.Now()}
+	d.epoch = n.epoch
+	n.sim.ScheduleCall(delay, n.kindLabel(kind), deliverEvent, d)
 	return nil
+}
+
+// kindLabel memoizes the diagnostic event label for a message kind; the
+// handful of protocol kinds make the cache tiny and the lookup
+// allocation-free.
+func (n *Network) kindLabel(kind string) string {
+	if l, ok := n.kindLabels[kind]; ok {
+		return l
+	}
+	l := "crosslink:" + kind
+	n.kindLabels[kind] = l
+	return l
+}
+
+// deliver completes (or drops) one in-flight message and recycles its
+// envelope when pooling is enabled. A delivery whose epoch predates the
+// last Reset belongs to a dead generation: it must neither reach a
+// handler nor touch the fresh epoch's counters — but its envelope is
+// still returned to the freelist (the envelope belongs to the network,
+// not the epoch).
+func (n *Network) deliver(now float64, d *delivery) {
+	msg, live := d.msg, d.epoch == n.epoch
+	if n.pooling {
+		d.msg = Message{} // drop the payload reference before recycling
+		n.free = append(n.free, d)
+	}
+	if !live {
+		return
+	}
+	n.stats.InFlight--
+	// Fail-silence may have begun after the send.
+	if n.FailSilent(msg.To) {
+		n.stats.DroppedFailSilent++
+		return
+	}
+	h := n.handlerOf(msg.To)
+	if h == nil {
+		n.stats.DroppedFailSilent++
+		return
+	}
+	n.stats.Delivered++
+	n.delayHist.Observe(now - msg.SentAt)
+	h(now, msg)
 }
 
 // Stats returns a snapshot of the network counters.

@@ -18,6 +18,13 @@ import (
 // the event.
 type Handler func(now float64)
 
+// ArgHandler is the allocation-free handler form used by ScheduleCall:
+// a plain (usually package-level) function receiving the scheduling-time
+// argument back at dispatch. Because neither the function value nor the
+// argument requires a per-event closure, hot loops that schedule many
+// short-lived events can stay free of heap allocations.
+type ArgHandler func(now float64, arg any)
+
 // Event is a scheduled occurrence. Events are created by
 // Simulation.Schedule and may be canceled before they fire.
 type Event struct {
@@ -26,6 +33,8 @@ type Event struct {
 	index    int // heap index, -1 once removed
 	canceled bool
 	handler  Handler
+	argFn    ArgHandler
+	arg      any
 	label    string
 }
 
@@ -89,6 +98,8 @@ func (s *Simulation) Reset() {
 	for i, e := range s.queue {
 		if s.reuse {
 			e.handler = nil
+			e.argFn = nil
+			e.arg = nil
 			s.free = append(s.free, e)
 		}
 		s.queue[i] = nil
@@ -137,6 +148,32 @@ func (s *Simulation) Schedule(delay float64, label string, handler Handler) *Eve
 	if handler == nil {
 		panic("des: Schedule with nil handler")
 	}
+	return s.schedule(delay, label, handler, nil, nil)
+}
+
+// ScheduleCall registers fn to run after delay units of simulation time,
+// passing arg back at dispatch. It is the allocation-free counterpart of
+// Schedule: when fn is a package-level function and arg is a pointer, no
+// per-event closure is heap-allocated, which keeps hot simulation loops
+// (the OAQ episode engine) free of steady-state allocations.
+func (s *Simulation) ScheduleCall(delay float64, label string, fn ArgHandler, arg any) *Event {
+	if fn == nil {
+		panic("des: ScheduleCall with nil handler")
+	}
+	return s.schedule(delay, label, nil, fn, arg)
+}
+
+// ScheduleCallAt is ScheduleCall at absolute simulation time t >= Now.
+func (s *Simulation) ScheduleCallAt(t float64, label string, fn ArgHandler, arg any) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: ScheduleCallAt(%q) at %g before now %g", label, t, s.now))
+	}
+	return s.ScheduleCall(t-s.now, label, fn, arg)
+}
+
+// schedule is the common scheduling core behind Schedule and
+// ScheduleCall; exactly one of handler and argFn is non-nil.
+func (s *Simulation) schedule(delay float64, label string, handler Handler, argFn ArgHandler, arg any) *Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("des: Schedule(%q) with negative or NaN delay %g", label, delay))
 	}
@@ -146,10 +183,10 @@ func (s *Simulation) Schedule(delay float64, label string, handler Handler) *Eve
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		*e = Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+		*e = Event{time: s.now + delay, seq: s.seq, handler: handler, argFn: argFn, arg: arg, label: label}
 		s.freeHits++
 	} else {
-		e = &Event{time: s.now + delay, seq: s.seq, handler: handler, label: label}
+		e = &Event{time: s.now + delay, seq: s.seq, handler: handler, argFn: argFn, arg: arg, label: label}
 		s.freeMisses++
 	}
 	heap.Push(&s.queue, e)
@@ -194,11 +231,17 @@ func (s *Simulation) Step() bool {
 		}
 		s.now = e.time
 		s.fired++
-		e.handler(s.now)
+		if e.handler != nil {
+			e.handler(s.now)
+		} else {
+			e.argFn(s.now, e.arg)
+		}
 		if s.reuse {
 			// Recycled after the handler so a handler scheduling new
 			// events cannot be handed its own in-flight event.
 			e.handler = nil
+			e.argFn = nil
+			e.arg = nil
 			s.free = append(s.free, e)
 		}
 		return true

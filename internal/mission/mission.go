@@ -18,6 +18,7 @@ package mission
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"satqos/internal/constellation"
 	"satqos/internal/fault"
@@ -261,20 +262,38 @@ func (c Config) publishMetrics(rep *Report, detected int) {
 type runner struct {
 	cfg  Config
 	cons *constellation.Constellation
+	// scratch pools per-episode scan buffers. The runner is shared by
+	// every worker of the batch, so the buffers go through a sync.Pool:
+	// one Get/Put per episode, reused allocation-free within it.
+	scratch sync.Pool
 }
 
 // satKey identifies a satellite across queries.
 type satKey struct{ plane, index int }
 
-// coveringAt lists the satellites covering the target at time t.
-func (r *runner) coveringAt(target orbit.LatLon, t float64) []satKey {
-	var out []satKey
-	for _, v := range r.cons.CoveringSatellites(target, t) {
+// episodeScratch holds one episode's coverage-scan buffers: the raw
+// fleet views, the covering set (overwritten by every scan step), the
+// pinned detection-time covering set, the fresh-opportunity set, and
+// the fault-ordinal assignment.
+type episodeScratch struct {
+	views    []constellation.SatView
+	cov      []satKey
+	initial  []satKey
+	fresh    []satKey
+	ordinals map[satKey]int
+}
+
+// coveringAt lists the satellites covering the target at time t. The
+// result aliases sc.cov; the next call overwrites it.
+func (r *runner) coveringAt(sc *episodeScratch, target orbit.LatLon, t float64) []satKey {
+	sc.views = r.cons.AppendCoveringSatellites(sc.views[:0], target, t)
+	sc.cov = sc.cov[:0]
+	for _, v := range sc.views {
 		if v.Covers {
-			out = append(out, satKey{v.Plane, v.Index})
+			sc.cov = append(sc.cov, satKey{v.Plane, v.Index})
 		}
 	}
-	return out
+	return sc.cov
 }
 
 // orbitOf resolves a satellite's orbit.
@@ -283,7 +302,7 @@ func (r *runner) orbitOf(k satKey) orbit.CircularOrbit {
 	if err != nil {
 		panic(fmt.Sprintf("mission: plane %d vanished: %v", k.plane, err))
 	}
-	return p.ActiveOrbits()[k.index]
+	return p.ActiveOrbit(k.index)
 }
 
 // episode runs one signal through detection, opportunity scheduling, and
@@ -296,37 +315,47 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 		RealizedErrorKm:  math.NaN(),
 		EstimatedErrorKm: math.NaN(),
 	}
+	sc, _ := r.scratch.Get().(*episodeScratch)
+	if sc == nil {
+		sc = &episodeScratch{ordinals: make(map[satKey]int)}
+	}
+	defer r.scratch.Put(sc)
+	clear(sc.ordinals)
+
 	// covering applies the scripted fault scenario on top of the raw
 	// geometry: ordinals are assigned in first-coverage order within this
 	// episode (even to satellites the scenario silences from the start),
 	// and a satellite that is fail-silent at t is invisible to the scan.
-	ordinals := make(map[satKey]int)
 	covering := func(t float64) []satKey {
-		cov := r.coveringAt(sig.Position, t)
+		cov := r.coveringAt(sc, sig.Position, t)
 		if r.cfg.Faults.Empty() {
 			return cov
 		}
 		alive := cov[:0]
 		for _, k := range cov {
-			ord, ok := ordinals[k]
+			ord, ok := sc.ordinals[k]
 			if !ok {
-				ord = len(ordinals) + 1
-				ordinals[k] = ord
+				ord = len(sc.ordinals) + 1
+				sc.ordinals[k] = ord
 			}
 			if !r.cfg.Faults.FailSilentAt(ord, t-sig.Start) {
 				alive = append(alive, k)
 			}
 		}
+		sc.cov = alive
 		return alive
 	}
 
-	// Detection: first instant a footprint covers the active signal.
+	// Detection: first instant a footprint covers the active signal. The
+	// covering set is copied into its own buffer: cov is overwritten by
+	// every later scan step, while initial must survive the episode.
 	t0 := math.NaN()
 	var initial []satKey
 	for t := sig.Start; t < sig.End(); t += coverScanStep {
 		if cov := covering(t); len(cov) > 0 {
 			t0 = t
-			initial = cov
+			sc.initial = append(sc.initial[:0], cov...)
+			initial = sc.initial
 			break
 		}
 	}
@@ -378,7 +407,8 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	horizon := math.Min(deadline, sig.End())
 	for t := t0 + coverScanStep; t <= horizon; t += coverScanStep {
 		cov := covering(t)
-		fresh := excluding(cov, initial[0])
+		sc.fresh = appendExcluding(sc.fresh[:0], cov, initial[0])
+		fresh := sc.fresh
 		if len(fresh) == 0 {
 			continue
 		}
@@ -432,13 +462,13 @@ func (r *runner) perturb(p orbit.LatLon, rng *stats.RNG) orbit.LatLon {
 	return orbit.LatLon{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
 }
 
-// excluding filters out the already-used satellite.
-func excluding(cov []satKey, used satKey) []satKey {
-	var out []satKey
+// appendExcluding appends to dst the members of cov other than the
+// already-used satellite.
+func appendExcluding(dst, cov []satKey, used satKey) []satKey {
 	for _, k := range cov {
 		if k != used {
-			out = append(out, k)
+			dst = append(dst, k)
 		}
 	}
-	return out
+	return dst
 }

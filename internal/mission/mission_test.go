@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"satqos/internal/fault"
 	"satqos/internal/qos"
 	"satqos/internal/signal"
 	"satqos/internal/stats"
@@ -168,3 +169,52 @@ func BenchmarkMissionEpisodeThroughput(b *testing.B) {
 		}
 	}
 }
+
+// TestMissionWorkerIndependenceWithScratch drives the scratch-pooled
+// coverage scan concurrently (with a fault scenario, so the ordinal map
+// and in-place filtering are exercised too) and checks the report is
+// bit-identical at every worker count — the guard that pooled scan
+// buffers never leak state between episodes or workers.
+func TestMissionWorkerIndependenceWithScratch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SignalRatePerMin = 0.15
+	cfg.Faults = &fault.Scenario{
+		Name: "first-responder-outage",
+		FailSilent: []fault.FailSilentWindow{
+			{Sat: 1, StartMin: 0, EndMin: 3},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var base *Report
+	for _, workers := range []int{1, 4, 8} {
+		cfg.Workers = workers
+		rep, err := Run(cfg, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		if len(rep.Outcomes) != len(base.Outcomes) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(rep.Outcomes), len(base.Outcomes))
+		}
+		for i := range base.Outcomes {
+			a, b := base.Outcomes[i], rep.Outcomes[i]
+			if a.Level != b.Level || a.Detected != b.Detected || a.PassesFused != b.PassesFused ||
+				!sameFloat(a.DetectionDelay, b.DetectionDelay) ||
+				!sameFloat(a.RealizedErrorKm, b.RealizedErrorKm) ||
+				!sameFloat(a.EstimatedErrorKm, b.EstimatedErrorKm) {
+				t.Fatalf("workers=%d episode %d diverges:\nbase: %+v\ngot:  %+v", workers, i, a, b)
+			}
+		}
+		if rep.PMF != base.PMF {
+			t.Errorf("workers=%d: PMF %v, want %v", workers, rep.PMF, base.PMF)
+		}
+	}
+}
+
+// sameFloat treats NaN as equal to NaN (undetected episodes).
+func sameFloat(a, b float64) bool { return a == b || (a != a && b != b) }

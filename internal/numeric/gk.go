@@ -1,0 +1,84 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// 15-point Kronrod extension of the 7-point Gauss rule on [-1, 1]
+// (the QUADPACK dqk15 node set). xgk holds the positive abscissae in
+// decreasing order plus the center; the odd indices are the embedded
+// Gauss nodes, weighted by wg.
+var (
+	xgk = [8]float64{
+		0.9914553711208126, 0.9491079123427585, 0.8648644233597691,
+		0.7415311855993945, 0.5860872354676911, 0.4058451513773972,
+		0.2077849550078985, 0.0,
+	}
+	wgk = [8]float64{
+		0.0229353220105292, 0.0630920926299786, 0.1047900103222502,
+		0.1406532597155259, 0.1690047266392679, 0.1903505780647854,
+		0.2044329400752989, 0.2094821410847278,
+	}
+	wg = [4]float64{
+		0.1294849661688697, 0.2797053914892767,
+		0.3818300505051189, 0.4179591836734694,
+	}
+)
+
+// IntegrateFast computes the definite integral of f over [a, b] with a
+// single 15-point Gauss–Kronrod panel — exactly 15 evaluations of f —
+// when the rule's embedded error estimate meets tol, and falls back to
+// the adaptive Integrate otherwise. The result is therefore always
+// within the requested tolerance; the fixed-node panel is purely a fast
+// path for the smooth, moderate-width integrands that dominate the
+// analytic QoS model (coordination-window integrals evaluated at every
+// sweep point). The interval may be reversed, flipping the sign.
+func IntegrateFast(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		return 0, fmt.Errorf("numeric: tolerance %g must be positive", tol)
+	}
+	if a == b {
+		return 0, nil
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	c := 0.5 * (a + b)
+	h := 0.5 * (b - a)
+
+	fc := f(c)
+	resg := wg[3] * fc
+	resk := wgk[7] * fc
+	var lo, hi [7]float64
+	for i := 0; i < 7; i++ {
+		x := h * xgk[i]
+		f1, f2 := f(c-x), f(c+x)
+		lo[i], hi[i] = f1, f2
+		resk += wgk[i] * (f1 + f2)
+		if i&1 == 1 {
+			resg += wg[i/2] * (f1 + f2)
+		}
+	}
+
+	// QUADPACK error estimate: |K15 − G7| sharpened by the integrand's
+	// mean absolute deviation resasc, which discounts the raw difference
+	// when the integrand is smooth at the rule's resolution.
+	reskh := resk * 0.5
+	resasc := wgk[7] * math.Abs(fc-reskh)
+	for i := 0; i < 7; i++ {
+		resasc += wgk[i] * (math.Abs(lo[i]-reskh) + math.Abs(hi[i]-reskh))
+	}
+	resasc *= h
+	est := math.Abs((resk - resg) * h)
+	if resasc != 0 && est != 0 {
+		est = resasc * math.Min(1, math.Pow(200*est/resasc, 1.5))
+	}
+	if est <= tol {
+		return sign * resk * h, nil
+	}
+	v, err := Integrate(f, a, b, tol)
+	return sign * v, err
+}

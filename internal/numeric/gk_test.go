@@ -1,0 +1,138 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntegrateFastCrossCheck: the fast path agrees with the adaptive
+// reference on a spread of integrands, within the shared tolerance.
+func TestIntegrateFastCrossCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{"exp-decay", func(x float64) float64 { return math.Exp(-0.7 * x) }, 0, 5},
+		{"survival-window", func(x float64) float64 {
+			return math.Exp(-0.2*x) * (1 - math.Exp(-(5 - x)))
+		}, 0, 4.3},
+		{"polynomial", func(x float64) float64 { return x*x*x - 2*x + 1 }, -1, 2},
+		{"reversed", func(x float64) float64 { return math.Cos(x) }, 3, 0},
+		{"peaked", func(x float64) float64 { return 1 / (1 + 2500*x*x) }, -1, 1},
+		{"kink", math.Abs, -0.7, 1.3},
+	}
+	const tol = 1e-10
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Integrate(tc.f, tc.a, tc.b, tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := IntegrateFast(tc.f, tc.a, tc.b, tol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 10*tol {
+				t.Errorf("IntegrateFast = %.15g, Integrate = %.15g (Δ = %g)", got, want, got-want)
+			}
+		})
+	}
+}
+
+// TestIntegrateFastEvalCounts pins the evaluation budget of the fast
+// path: a smooth integrand costs exactly the 15 Kronrod nodes, and a
+// hard one falls back to the adaptive rule (more than 15 calls) while
+// still landing within tolerance.
+func TestIntegrateFastEvalCounts(t *testing.T) {
+	count := 0
+	smooth := func(x float64) float64 { count++; return math.Exp(-x) }
+	v, err := IntegrateFast(smooth, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 15 {
+		t.Errorf("smooth integrand cost %d evaluations, want exactly 15", count)
+	}
+	if want := 1 - math.Exp(-2); math.Abs(v-want) > 1e-12 {
+		t.Errorf("smooth integral = %.15g, want %.15g", v, want)
+	}
+
+	count = 0
+	peaked := func(x float64) float64 { count++; return 1 / (1 + 2500*x*x) }
+	v, err = IntegrateFast(peaked, -1, 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count <= 15 {
+		t.Errorf("peaked integrand cost %d evaluations; expected fallback past the fixed panel", count)
+	}
+	want := 2.0 / 50 * math.Atan(50)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("peaked integral = %.15g, want %.15g", v, want)
+	}
+
+	if _, err := IntegrateFast(smooth, 0, 1, 0); err == nil {
+		t.Error("non-positive tolerance accepted")
+	}
+	if v, err := IntegrateFast(smooth, 3, 3, 1e-10); err != nil || v != 0 {
+		t.Errorf("empty interval: got %g, %v", v, err)
+	}
+}
+
+// TestIntegrateNeverReevaluates is the endpoint-reuse regression test
+// for the adaptive rule: the recursion passes each panel's endpoint and
+// midpoint values down instead of recomputing them, so no abscissa is
+// ever evaluated twice. A reuse regression would double-visit panel
+// endpoints and trip this immediately.
+func TestIntegrateNeverReevaluates(t *testing.T) {
+	integrands := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{"smooth", func(x float64) float64 { return math.Exp(-x) * math.Sin(3*x) }, 0, 4},
+		{"peaked", func(x float64) float64 { return 1 / (1 + 2500*x*x) }, -1, 1},
+		{"kink", math.Abs, -0.5, 1.5},
+	}
+	for _, tc := range integrands {
+		t.Run(tc.name, func(t *testing.T) {
+			seen := make(map[float64]int)
+			calls := 0
+			f := func(x float64) float64 {
+				seen[x]++
+				calls++
+				return tc.f(x)
+			}
+			if _, err := Integrate(f, tc.a, tc.b, 1e-10); err != nil {
+				t.Fatal(err)
+			}
+			for x, n := range seen {
+				if n > 1 {
+					t.Fatalf("abscissa %g evaluated %d times", x, n)
+				}
+			}
+			// With full endpoint reuse, cost is exactly 3 + 2 evaluations
+			// per visited panel: distinct points == calls.
+			if calls != len(seen) {
+				t.Errorf("%d calls for %d distinct points", calls, len(seen))
+			}
+		})
+	}
+}
+
+// TestIntegrateEvalBudget pins absolute call counts so an accidental
+// extra evaluation (however cheap) shows up as a diff, not a slow drift.
+func TestIntegrateEvalBudget(t *testing.T) {
+	calls := 0
+	// A cubic is integrated exactly by one Simpson panel: the first
+	// refinement's Richardson estimate is zero, so the budget is the
+	// theoretical minimum of 3 initial + 2 refinement points.
+	cubic := func(x float64) float64 { calls++; return x*x*x - x }
+	if _, err := Integrate(cubic, 0, 2, 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("cubic cost %d evaluations, want 5 (full endpoint reuse)", calls)
+	}
+}

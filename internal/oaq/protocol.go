@@ -75,6 +75,7 @@ type episode struct {
 	obs *shardMetrics
 
 	l1, tc          float64
+	overlap         bool
 	sigStart        float64
 	sigEnd          float64
 	t0              float64
@@ -84,18 +85,26 @@ type episode struct {
 	bestSentAt      float64
 	deliveredByTau  bool
 	termination     Termination
-	satellites      map[int]*satellite
 	terminationSeen bool
 	// failRollArmed gates the fail-silent lottery: the satellite that
 	// detects the signal is always healthy (the paper's failure model
 	// concerns the peers joining the coordination).
 	failRollArmed bool
+	// satByID indexes the episode's live satellites by pass index minus
+	// satBase — an indexed reset-in-place buffer instead of a per-episode
+	// map, so agent lookup is a plain array access. satBase is the lowest
+	// pass index the episode can touch (the first covering footprint).
+	satByID []*satellite
+	satBase int
 	// pool recycles satellite structs across the episodes of one runner;
 	// poolUsed is how many are live in the current episode.
 	pool     []*satellite
 	poolUsed int
-	// covBuf is the reusable backing array of coveringAt.
+	// covBuf is the reusable backing array of coveringAt; detCov pins the
+	// detection-time covering set for the detection event (covBuf itself
+	// is overwritten by the next coveringAt call).
 	covBuf []int
+	detCov []int
 }
 
 // tracing reports whether a trace sink is configured; the hot path
@@ -103,7 +112,11 @@ type episode struct {
 // box the variadic arguments.
 func (e *episode) tracing() bool { return e.p.Trace != nil }
 
-// satellite is one protocol participant.
+// satellite is one protocol participant. The struct is pooled across
+// episodes (reset in place by resetFor), and all of its event handling
+// goes through package-level des.ArgHandler adapters with the satellite
+// itself as the argument — so a steady-state episode schedules events,
+// sends messages, and dispatches protocol logic without allocating.
 type satellite struct {
 	ep          *episode
 	id          int // pass index: footprint covers [id·L1, id·L1 + Tc)
@@ -120,6 +133,34 @@ type satellite struct {
 	// ackedForward records that the forwarded coordination request was
 	// acknowledged (retransmission option only).
 	ackedForward bool
+	// reqOut and alertOut are the satellite's outgoing payloads, sent by
+	// pointer so the crosslink layer never boxes a value into its
+	// Payload interface. Each is written at most once per episode before
+	// any send that references it (retransmissions resend the identical
+	// reqOut), and the network's epoch fence keeps stale in-flight
+	// pointers from crossing a Reset.
+	reqOut   requestPayload
+	alertOut alertPayload
+	// retryTo and retryAttempt carry the bounded-retransmission state
+	// between ack-timeout events (at most one forwarded request per
+	// satellite, so a single slot suffices).
+	retryTo      crosslink.NodeID
+	retryAttempt int
+	// jointPasses parameterizes the pending joint-computation event.
+	jointPasses int
+	// handler is the satellite's crosslink receive closure, created once
+	// when the struct is first allocated and preserved across resets (a
+	// fresh bound-method value would allocate every episode).
+	handler crosslink.Handler
+}
+
+// resetFor reinitializes a pooled satellite for a fresh episode, keeping
+// the allocated receive handler (which captures only the stable struct
+// pointer).
+func (s *satellite) resetFor(e *episode, id int) {
+	h := s.handler
+	*s = satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+	s.handler = h
 }
 
 func (s *satellite) passStart() float64 { return float64(s.id) * s.ep.l1 }
@@ -145,24 +186,39 @@ func (e *episode) signalActiveAt(t float64) bool {
 	return t >= e.sigStart && t < e.sigEnd
 }
 
+// satSlot returns the satByID index for a pass id, growing the buffer on
+// demand (steady-state episodes stay within the grown capacity).
+func (e *episode) satSlot(id int) int {
+	idx := id - e.satBase
+	if idx < 0 {
+		panic(fmt.Sprintf("oaq: pass index %d below episode base %d", id, e.satBase))
+	}
+	for len(e.satByID) <= idx {
+		e.satByID = append(e.satByID, nil)
+	}
+	return idx
+}
+
 // sat lazily instantiates and registers a satellite agent, drawing the
 // struct from the runner's pool when one is free.
 func (e *episode) sat(id int) *satellite {
-	if s, ok := e.satellites[id]; ok {
+	idx := e.satSlot(id)
+	if s := e.satByID[idx]; s != nil {
 		return s
 	}
 	var s *satellite
 	if e.poolUsed < len(e.pool) {
 		s = e.pool[e.poolUsed]
-		*s = satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+		s.resetFor(e, id)
 	} else {
 		s = &satellite{ep: e, id: id, node: crosslink.NodeID(id)}
+		s.handler = s.onMessage
 		e.pool = append(e.pool, s)
 	}
 	e.poolUsed++
-	e.satellites[id] = s
-	if err := e.net.Register(s.node, s.onMessage); err != nil {
-		// Registration cannot fail for a non-nil method handler.
+	e.satByID[idx] = s
+	if err := e.net.Register(s.node, s.handler); err != nil {
+		// Registration cannot fail for a non-nil handler.
 		panic(fmt.Sprintf("oaq: register satellite %d: %v", id, err))
 	}
 	if e.failRollArmed && e.p.FailSilentProb > 0 && e.rng.Float64() < e.p.FailSilentProb {
@@ -175,7 +231,7 @@ func (e *episode) sat(id int) *satellite {
 // recordAlert is the ground station's receive path. Only the send time
 // matters for the deadline (footnote 2: the alert must be *sent* by τ).
 func (e *episode) recordAlert(msg crosslink.Message) {
-	pay, ok := msg.Payload.(alertPayload)
+	pay, ok := msg.Payload.(*alertPayload)
 	if !ok {
 		return
 	}
@@ -214,11 +270,8 @@ func (s *satellite) sendAlert(level qos.Level, passes int) {
 	if s.ep.tracing() {
 		s.ep.trace(s.ep.sim.Now(), s.id, TraceAlertSent, "level %v from %d fused passes", level, passes)
 	}
-	_ = s.ep.ground.Send(s.node, crosslink.GroundStation, kindAlert, alertPayload{
-		level:  level,
-		passes: passes,
-		t0:     s.ep.t0,
-	})
+	s.alertOut = alertPayload{level: level, passes: passes, t0: s.ep.t0}
+	_ = s.ep.ground.Send(s.node, crosslink.GroundStation, kindAlert, &s.alertOut)
 }
 
 // sendDone notifies the upstream requester, which propagates it further
@@ -238,7 +291,7 @@ func (s *satellite) sendDone() {
 func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 	switch msg.Kind {
 	case kindRequest:
-		pay, ok := msg.Payload.(requestPayload)
+		pay, ok := msg.Payload.(*requestPayload)
 		if !ok {
 			return
 		}
@@ -266,11 +319,7 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		if !s.ep.p.BackwardMessaging {
 			// Terminal-responsibility guard: whoever holds the freshest
 			// result must get *something* to the ground by the deadline.
-			s.ep.sim.ScheduleAt(s.ep.deadline, "no-backward-guard", func(float64) {
-				if !s.sentAlert && !s.forwarded && !s.ep.net.FailSilent(s.node) {
-					s.sendAlert(s.inherited.level, s.inherited.passes)
-				}
-			})
+			s.ep.sim.ScheduleCallAt(s.ep.deadline, "no-backward-guard", noBackwardGuardEvent, s)
 		}
 	case kindAck:
 		s.ackedForward = true
@@ -290,42 +339,71 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 // up) or observes TC-3.
 func (s *satellite) scheduleAttempt(now float64) {
 	at := math.Max(now, s.passStart())
-	s.ep.sim.ScheduleAt(at, "pass-attempt", func(t float64) {
-		if s.ep.net.FailSilent(s.node) {
-			return
-		}
-		s.ep.note(TracePassArrival)
-		if s.ep.tracing() {
-			s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
-		}
-		if s.ep.signalActiveAt(t) {
-			h := s.ep.p.ComputeTime.Sample(s.ep.rng)
-			s.ep.sim.Schedule(h, "iterative-computation", func(done float64) {
-				if s.ep.net.FailSilent(s.node) {
-					return
-				}
-				s.passes = s.inherited.passes + 1
-				s.level = qos.LevelSequentialDual
-				s.ep.note(TraceComputationDone)
-				if s.ep.tracing() {
-					s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
-				}
-				s.evaluate(done)
-			})
-			return
-		}
-		// TC-3: the signal stopped before this footprint arrived.
-		s.ep.note(TraceSignalLost)
-		if s.ep.tracing() {
-			s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
-		}
-		if !s.ep.p.BackwardMessaging {
-			s.ep.noteTermination(TermSignalLost)
-			s.sendAlert(s.inherited.level, s.inherited.passes)
-			s.sendDone()
-		}
-		// Under backward messaging the upstream wait timeout delivers.
-	})
+	s.ep.sim.ScheduleCallAt(at, "pass-attempt", passAttemptEvent, s)
+}
+
+// passAttemptEvent fires when a coordinated satellite's footprint
+// arrives over the target.
+func passAttemptEvent(t float64, arg any) {
+	s := arg.(*satellite)
+	if s.ep.net.FailSilent(s.node) {
+		return
+	}
+	s.ep.note(TracePassArrival)
+	if s.ep.tracing() {
+		s.ep.trace(t, s.id, TracePassArrival, "signal active: %v", s.ep.signalActiveAt(t))
+	}
+	if s.ep.signalActiveAt(t) {
+		h := s.ep.p.ComputeTime.Sample(s.ep.rng)
+		s.ep.sim.ScheduleCall(h, "iterative-computation", iterativeComputationEvent, s)
+		return
+	}
+	// TC-3: the signal stopped before this footprint arrived.
+	s.ep.note(TraceSignalLost)
+	if s.ep.tracing() {
+		s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
+	}
+	if !s.ep.p.BackwardMessaging {
+		s.ep.noteTermination(TermSignalLost)
+		s.sendAlert(s.inherited.level, s.inherited.passes)
+		s.sendDone()
+	}
+	// Under backward messaging the upstream wait timeout delivers.
+}
+
+// iterativeComputationEvent completes one sequential-localization
+// iteration and re-evaluates the termination conditions.
+func iterativeComputationEvent(done float64, arg any) {
+	s := arg.(*satellite)
+	if s.ep.net.FailSilent(s.node) {
+		return
+	}
+	s.passes = s.inherited.passes + 1
+	s.level = qos.LevelSequentialDual
+	s.ep.note(TraceComputationDone)
+	if s.ep.tracing() {
+		s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
+	}
+	s.evaluate(done)
+}
+
+// noBackwardGuardEvent is the terminal-responsibility guard of the
+// no-backward-messaging variant: at the deadline, a satellite that
+// still holds the freshest result and never handed it off must deliver
+// what it inherited.
+func noBackwardGuardEvent(_ float64, arg any) {
+	s := arg.(*satellite)
+	if !s.sentAlert && !s.forwarded && !s.ep.net.FailSilent(s.node) {
+		s.sendAlert(s.inherited.level, s.inherited.passes)
+	}
+}
+
+// terminate ends the satellite's coordination: record the cause, send
+// the alert, and propagate "coordination done".
+func (s *satellite) terminate(cause Termination) {
+	s.ep.noteTermination(cause)
+	s.sendAlert(s.level, s.passes)
+	s.sendDone()
 }
 
 // evaluate applies the termination conditions after a completed
@@ -333,24 +411,19 @@ func (s *satellite) scheduleAttempt(now float64) {
 // (coordination request to the next-visiting peer, §3.2).
 func (s *satellite) evaluate(now float64) {
 	e := s.ep
-	terminate := func(cause Termination) {
-		e.noteTermination(cause)
-		s.sendAlert(s.level, s.passes)
-		s.sendDone()
-	}
 	// TC-1: estimated error below threshold.
 	if e.p.ErrorThresholdKm > 0 && e.p.errorModel()(s.passes) <= e.p.ErrorThresholdKm {
-		terminate(TermErrorThreshold)
+		s.terminate(TermErrorThreshold)
 		return
 	}
 	// Configured chain cap.
 	if e.p.MaxChain > 0 && s.ordinal >= e.p.MaxChain {
-		terminate(TermChainCap)
+		s.terminate(TermChainCap)
 		return
 	}
 	// TC-2: getTime() − t0 > τ − (nδ + T_g).
 	if now-e.t0 > e.p.TauMin-(float64(s.ordinal)*e.p.DeltaMin+e.p.TgMin) {
-		terminate(TermDeadline)
+		s.terminate(TermDeadline)
 		return
 	}
 	// Opportunity remains: request the peer expected to visit next. A
@@ -371,15 +444,15 @@ func (s *satellite) evaluate(now float64) {
 	if e.tracing() {
 		e.trace(now, s.id, TraceRequestSent, "to S%d (n=%d -> n=%d)", next.id, s.ordinal, s.ordinal+1)
 	}
-	req := requestPayload{
+	s.reqOut = requestPayload{
 		t0:        e.t0,
 		ordinal:   s.ordinal + 1,
 		passes:    s.passes,
 		inherited: s.level,
 	}
-	_ = e.net.Send(s.node, next.node, kindRequest, req)
+	_ = e.net.Send(s.node, next.node, kindRequest, &s.reqOut)
 	if e.p.RequestRetries > 0 {
-		s.armAckTimeout(next.node, req, 0)
+		s.armAckTimeout(next.node, 0)
 	}
 	if e.p.BackwardMessaging {
 		// Wait for "coordination done" until τ − (n−1)δ; otherwise treat
@@ -389,19 +462,26 @@ func (s *satellite) evaluate(now float64) {
 		if waitUntil < now {
 			waitUntil = now
 		}
-		e.sim.ScheduleAt(waitUntil, "wait-timeout", func(t float64) {
-			if s.doneFrom || s.sentAlert || e.net.FailSilent(s.node) {
-				return
-			}
-			e.note(TraceTimeout)
-			if e.tracing() {
-				e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
-			}
-			e.noteTermination(TermTimeout)
-			s.sendAlert(s.level, s.passes)
-			s.sendDone()
-		})
+		e.sim.ScheduleCallAt(waitUntil, "wait-timeout", waitTimeoutEvent, s)
 	}
+}
+
+// waitTimeoutEvent fires at τ − (n−1)δ for a satellite that forwarded
+// the chain under backward messaging and is still waiting on
+// "coordination done".
+func waitTimeoutEvent(t float64, arg any) {
+	s := arg.(*satellite)
+	e := s.ep
+	if s.doneFrom || s.sentAlert || e.net.FailSilent(s.node) {
+		return
+	}
+	e.note(TraceTimeout)
+	if e.tracing() {
+		e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
+	}
+	e.noteTermination(TermTimeout)
+	s.sendAlert(s.level, s.passes)
+	s.sendDone()
 }
 
 // armAckTimeout arms the bounded-retransmission option for a forwarded
@@ -413,29 +493,38 @@ func (s *satellite) evaluate(now float64) {
 // satellite abandons the forward and delivers its own result
 // (TermRetriesExhausted) at or before the deadline instead of
 // stalling on an unreachable peer.
-func (s *satellite) armAckTimeout(to crosslink.NodeID, req requestPayload, attempt int) {
+func (s *satellite) armAckTimeout(to crosslink.NodeID, attempt int) {
 	e := s.ep
+	s.retryTo = to
+	s.retryAttempt = attempt
 	at := math.Min(e.sim.Now()+2*e.p.DeltaMin, e.deadline)
-	e.sim.ScheduleAt(at, "ack-timeout", func(t float64) {
-		if s.ackedForward || s.sentAlert || e.net.FailSilent(s.node) {
-			return
+	e.sim.ScheduleCallAt(at, "ack-timeout", ackTimeoutEvent, s)
+}
+
+// ackTimeoutEvent resends the (single) outstanding coordination request
+// held in s.reqOut, or abandons the forward when the retry budget or
+// the deadline window is exhausted.
+func ackTimeoutEvent(t float64, arg any) {
+	s := arg.(*satellite)
+	e := s.ep
+	if s.ackedForward || s.sentAlert || e.net.FailSilent(s.node) {
+		return
+	}
+	if s.retryAttempt < e.p.RequestRetries && t+2*e.p.DeltaMin+e.p.TgMin <= e.deadline {
+		if e.obs != nil {
+			e.obs.retransmits++
 		}
-		if attempt < e.p.RequestRetries && t+2*e.p.DeltaMin+e.p.TgMin <= e.deadline {
-			if e.obs != nil {
-				e.obs.retransmits++
-			}
-			if e.tracing() {
-				e.trace(t, s.id, TraceRequestSent, "retransmit %d to S%d (no ack)", attempt+1, int(to))
-			}
-			_ = e.net.Send(s.node, to, kindRequest, req)
-			s.armAckTimeout(to, req, attempt+1)
-			return
+		if e.tracing() {
+			e.trace(t, s.id, TraceRequestSent, "retransmit %d to S%d (no ack)", s.retryAttempt+1, int(s.retryTo))
 		}
-		e.noteTermination(TermRetriesExhausted)
-		s.forwarded = false
-		s.sendAlert(s.level, s.passes)
-		s.sendDone()
-	})
+		_ = e.net.Send(s.node, s.retryTo, kindRequest, &s.reqOut)
+		s.armAckTimeout(s.retryTo, s.retryAttempt+1)
+		return
+	}
+	e.noteTermination(TermRetriesExhausted)
+	s.forwarded = false
+	s.sendAlert(s.level, s.passes)
+	s.sendDone()
 }
 
 // episodeRunner amortizes the fixed cost of episode simulation — the
@@ -444,8 +533,7 @@ func (s *satellite) armAckTimeout(to crosslink.NodeID, req requestPayload, attem
 // sharded Monte-Carlo engine: one runner per shard, never shared between
 // goroutines.
 type episodeRunner struct {
-	overlap bool
-	ep      episode
+	ep episode
 	// groundHandler is the ground station's receive closure, created
 	// once and re-registered after each Reset.
 	groundHandler crosslink.Handler
@@ -486,16 +574,21 @@ func newEpisodeRunner(p Params, rng *stats.RNG) (*episodeRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &episodeRunner{overlap: overlap}
+	// The protocol's payloads live in pooled satellite structs and every
+	// delivery is dispatched through the networks themselves, so envelope
+	// recycling is safe — and keeps steady-state sends allocation-free.
+	net.EnableMessagePooling()
+	ground.EnableMessagePooling()
+	r := &episodeRunner{}
 	r.ep = episode{
-		p:          p,
-		sim:        sim,
-		net:        net,
-		ground:     ground,
-		rng:        rng,
-		l1:         tr,
-		tc:         p.Geom.TcMin,
-		satellites: make(map[int]*satellite),
+		p:       p,
+		sim:     sim,
+		net:     net,
+		ground:  ground,
+		rng:     rng,
+		l1:      tr,
+		tc:      p.Geom.TcMin,
+		overlap: overlap,
 	}
 	e := &r.ep
 	r.groundHandler = func(now float64, msg crosslink.Message) {
@@ -513,7 +606,12 @@ func (r *episodeRunner) run() EpisodeResult {
 	e.sim.Reset()
 	e.net.Reset()
 	e.ground.Reset()
-	clear(e.satellites)
+	// Unhook the previous episode's satellites from the index (each pool
+	// entry knows its own slot, so this is O(live satellites), not
+	// O(buffer)).
+	for _, s := range e.pool[:e.poolUsed] {
+		e.satByID[s.id-e.satBase] = nil
+	}
 	e.poolUsed = 0
 	e.t0 = 0
 	e.deadline = 0
@@ -560,6 +658,10 @@ func (r *episodeRunner) run() EpisodeResult {
 		covering = e.coveringAt(e.t0)
 	}
 	e.deadline = e.t0 + e.p.TauMin
+	// Pin the detection covering set (covBuf is transient) and anchor the
+	// satellite index at the first footprint the episode can touch.
+	e.satBase = covering[0]
+	e.detCov = append(e.detCov[:0], covering...)
 
 	// Scripted faults are armed before the detection event: an onset at
 	// scenario time zero is in effect when detection fires (FIFO at equal
@@ -582,9 +684,7 @@ func (r *episodeRunner) run() EpisodeResult {
 	}
 
 	// First-response logic at t0.
-	e.sim.ScheduleAt(e.t0, "detection", func(float64) {
-		e.onDetection(covering, r.overlap)
-	})
+	e.sim.ScheduleCallAt(e.t0, "detection", detectionEvent, e)
 
 	// Run to quiescence past the deadline plus a full revisit (late pass
 	// attempts are filtered by the ground's deadline check anyway).
@@ -625,9 +725,50 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 	return res, nil
 }
 
+// Runner is the exported reusable episode simulator: it amortizes the
+// fixed cost of the event queue, the crosslink networks, and the
+// satellite pool across many episodes on one goroutine. Consecutive Run
+// calls consume the RNG exactly as repeated RunEpisode calls on the same
+// RNG would, so the two are outcome-for-outcome identical — but a
+// steady-state Run performs no heap allocations (the property
+// BenchmarkProtocolEpisode gates). A Runner is not safe for concurrent
+// use; create one per goroutine.
+type Runner struct {
+	r *episodeRunner
+	m *shardMetrics
+}
+
+// NewRunner validates the parameters and builds the reusable simulation
+// state.
+func NewRunner(p Params, rng *stats.RNG) (*Runner, error) {
+	er, err := newEpisodeRunner(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	m := maybeShardMetrics(p.Metrics)
+	er.setMetrics(m)
+	return &Runner{r: er, m: m}, nil
+}
+
+// Run simulates the next signal episode, drawing from the Runner's RNG.
+func (r *Runner) Run() EpisodeResult { return r.r.run() }
+
+// PublishMetrics flushes the episodes accumulated so far into the
+// Params' metrics registry (a no-op when metrics are disabled). Call it
+// once, after the last Run: the flush adds the running totals, so
+// repeated calls double-count.
+func (r *Runner) PublishMetrics() { r.m.publish(r.r.ep.p.Metrics) }
+
+// detectionEvent is the t0 event; the covering set is pinned in
+// e.detCov by run.
+func detectionEvent(_ float64, arg any) {
+	arg.(*episode).onDetection()
+}
+
 // onDetection implements the scheme-dependent first response of the
-// satellite(s) covering the target at t0.
-func (e *episode) onDetection(covering []int, overlap bool) {
+// satellite(s) covering the target at t0 (pinned in e.detCov).
+func (e *episode) onDetection() {
+	covering := e.detCov
 	defer func() { e.failRollArmed = true }()
 	e.note(TraceDetection)
 	if e.tracing() {
@@ -654,77 +795,104 @@ func (e *episode) onDetection(covering []int, overlap bool) {
 	switch {
 	case e.p.Scheme == qos.SchemeBAQ:
 		// Deliver after the initial computation, no waiting.
-		e.sim.Schedule(h1, "initial-computation", func(t float64) {
-			e.note(TraceComputationDone)
-			if e.tracing() {
-				e.trace(t, s1.id, TraceComputationDone, "initial computation")
-			}
-			s1.sendAlert(qos.LevelSingle, 1)
-		})
+		e.sim.ScheduleCall(h1, "initial-computation", initialComputationBAQEvent, s1)
 		e.armPreliminaryGuard(s1)
 
-	case overlap:
+	case e.overlap:
 		// OAQ, overlapping regime: withhold the preliminary result and
 		// wait for the overlapped footprints (§3.1).
-		e.sim.Schedule(h1, "initial-computation", func(t float64) {
-			e.note(TraceComputationDone)
-			if e.tracing() {
-				e.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
-			}
-		})
+		e.sim.ScheduleCall(h1, "initial-computation", initialComputationWithheldEvent, s1)
 		tBeta := float64(s1.id+1) * e.l1
 		if tBeta <= e.deadline {
-			e.sim.ScheduleAt(tBeta, "overlap-arrival", func(now float64) {
-				e.note(TracePassArrival)
-				if e.tracing() {
-					e.trace(now, s1.id+1, TracePassArrival,
-						"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
-				}
-				if e.signalActiveAt(now) {
-					e.jointComputation(s1, 2)
-					return
-				}
-				// The signal stopped before simultaneous coverage: no
-				// further opportunity; release the preliminary result.
-				e.note(TraceSignalLost)
-				e.noteTermination(TermSignalLost)
-				s1.sendAlert(qos.LevelSingle, 1)
-			})
+			e.sim.ScheduleCallAt(tBeta, "overlap-arrival", overlapArrivalEvent, s1)
 		}
 		e.armPreliminaryGuard(s1)
 
 	default:
 		// OAQ, underlapping regime: iterative sequential localization
-		// along the coordination chain (§3.2).
-		e.sim.Schedule(h1, "initial-computation", func(now float64) {
-			e.note(TraceComputationDone)
-			if e.tracing() {
-				e.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
-			}
-			s1.evaluate(now)
-		})
-		// S1 holds terminal responsibility until it forwards a request:
-		// if its own computation overruns the deadline, the guard
-		// releases the preliminary (partial) result on time. After a
-		// forward, the wait timer (backward messaging) or the peer's
-		// terminal guard (no-backward) takes over.
+		// along the coordination chain (§3.2). S1 holds terminal
+		// responsibility until it forwards a request: if its own
+		// computation overruns the deadline, the guard releases the
+		// preliminary (partial) result on time. After a forward, the
+		// wait timer (backward messaging) or the peer's terminal guard
+		// (no-backward) takes over.
+		e.sim.ScheduleCall(h1, "initial-computation", initialComputationEvaluateEvent, s1)
 		e.armPreliminaryGuard(s1)
 	}
+}
+
+// initialComputationBAQEvent: the BAQ baseline delivers the initial
+// result immediately, no coordination.
+func initialComputationBAQEvent(t float64, arg any) {
+	s1 := arg.(*satellite)
+	s1.ep.note(TraceComputationDone)
+	if s1.ep.tracing() {
+		s1.ep.trace(t, s1.id, TraceComputationDone, "initial computation")
+	}
+	s1.sendAlert(qos.LevelSingle, 1)
+}
+
+// initialComputationWithheldEvent: the overlap regime completes the
+// initial computation but withholds the result pending the overlapped
+// footprint's arrival.
+func initialComputationWithheldEvent(t float64, arg any) {
+	s1 := arg.(*satellite)
+	s1.ep.note(TraceComputationDone)
+	if s1.ep.tracing() {
+		s1.ep.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
+	}
+}
+
+// initialComputationEvaluateEvent: the underlap regime evaluates the
+// termination conditions after the initial computation.
+func initialComputationEvaluateEvent(now float64, arg any) {
+	s1 := arg.(*satellite)
+	s1.ep.note(TraceComputationDone)
+	if s1.ep.tracing() {
+		s1.ep.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
+	}
+	s1.evaluate(now)
+}
+
+// overlapArrivalEvent fires when the overlapped footprint reaches the
+// target in the overlapping regime.
+func overlapArrivalEvent(now float64, arg any) {
+	s1 := arg.(*satellite)
+	e := s1.ep
+	e.note(TracePassArrival)
+	if e.tracing() {
+		e.trace(now, s1.id+1, TracePassArrival,
+			"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
+	}
+	if e.signalActiveAt(now) {
+		e.jointComputation(s1, 2)
+		return
+	}
+	// The signal stopped before simultaneous coverage: no further
+	// opportunity; release the preliminary result.
+	e.note(TraceSignalLost)
+	e.noteTermination(TermSignalLost)
+	s1.sendAlert(qos.LevelSingle, 1)
 }
 
 // jointComputation runs the simultaneous-coverage computation and sends
 // the level-3 alert on completion.
 func (e *episode) jointComputation(s *satellite, passes int) {
 	h := e.p.ComputeTime.Sample(e.rng)
-	e.sim.Schedule(h, "joint-computation", func(t float64) {
-		s.passes = passes
-		s.level = qos.LevelSimultaneousDual
-		e.note(TraceComputationDone)
-		if e.tracing() {
-			e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
-		}
-		s.sendAlert(qos.LevelSimultaneousDual, passes)
-	})
+	s.jointPasses = passes
+	e.sim.ScheduleCall(h, "joint-computation", jointComputationEvent, s)
+}
+
+func jointComputationEvent(t float64, arg any) {
+	s := arg.(*satellite)
+	e := s.ep
+	s.passes = s.jointPasses
+	s.level = qos.LevelSimultaneousDual
+	e.note(TraceComputationDone)
+	if e.tracing() {
+		e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
+	}
+	s.sendAlert(qos.LevelSimultaneousDual, s.jointPasses)
 }
 
 // armPreliminaryGuard guarantees the preliminary (level-1) result goes
@@ -733,14 +901,18 @@ func (e *episode) jointComputation(s *satellite, passes int) {
 // preliminary geolocation result will be delivered in a timely fashion"
 // property of §3.3.
 func (e *episode) armPreliminaryGuard(s *satellite) {
-	e.sim.ScheduleAt(e.deadline, "preliminary-guard", func(t float64) {
-		if !s.sentAlert && !s.forwarded && !e.net.FailSilent(s.node) {
-			e.note(TraceTimeout)
-			if e.tracing() {
-				e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
-			}
-			e.noteTermination(TermDeadline)
-			s.sendAlert(qos.LevelSingle, 1)
+	e.sim.ScheduleCallAt(e.deadline, "preliminary-guard", preliminaryGuardEvent, s)
+}
+
+func preliminaryGuardEvent(t float64, arg any) {
+	s := arg.(*satellite)
+	e := s.ep
+	if !s.sentAlert && !s.forwarded && !e.net.FailSilent(s.node) {
+		e.note(TraceTimeout)
+		if e.tracing() {
+			e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
 		}
-	})
+		e.noteTermination(TermDeadline)
+		s.sendAlert(qos.LevelSingle, 1)
+	}
 }

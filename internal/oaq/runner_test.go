@@ -1,0 +1,81 @@
+package oaq
+
+import (
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// TestRunnerMatchesRunEpisode: a Runner consumes the RNG exactly as
+// repeated RunEpisode calls on the same seed would, so the episode
+// streams are outcome-for-outcome identical.
+func TestRunnerMatchesRunEpisode(t *testing.T) {
+	for _, k := range []int{10, 49, 70} {
+		p := ReferenceParams(k, qos.SchemeOAQ)
+		r, err := NewRunner(p, stats.NewRNG(11, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := stats.NewRNG(11, 0)
+		for i := 0; i < 200; i++ {
+			want, err := RunEpisode(p, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := r.Run()
+			if !episodeResultsEqual(got, want) {
+				t.Fatalf("k=%d episode %d diverges:\nrunner:     %+v\nRunEpisode: %+v", k, i, got, want)
+			}
+		}
+	}
+}
+
+// episodeResultsEqual compares results treating NaN fields as equal.
+func episodeResultsEqual(a, b EpisodeResult) bool {
+	if a.Level != b.Level || a.Detected != b.Detected || a.Delivered != b.Delivered ||
+		a.ChainLength != b.ChainLength || a.MessagesSent != b.MessagesSent ||
+		a.Termination != b.Termination {
+		return false
+	}
+	eq := func(x, y float64) bool { return x == y || (x != x && y != y) }
+	return eq(a.DetectionDelay, b.DetectionDelay) && eq(a.DeliveryLatency, b.DeliveryLatency)
+}
+
+// TestRunnerZeroAllocSteadyState is the tentpole property: after a
+// warmup that grows every pool (events, envelopes, satellites, index
+// buffers), an episode runs without a single heap allocation. Checked
+// for both regimes (underlap k=10, overlap k=70) and for a lossy
+// configuration with retransmissions, which exercises the ack-timeout
+// and envelope-recycling paths.
+func TestRunnerZeroAllocSteadyState(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"underlap", ReferenceParams(10, qos.SchemeOAQ)},
+		{"overlap", ReferenceParams(70, qos.SchemeOAQ)},
+		{"baq", ReferenceParams(10, qos.SchemeBAQ)},
+		{"lossy-retries", func() Params {
+			p := ReferenceParams(10, qos.SchemeOAQ)
+			p.MessageLossProb = 0.2
+			p.RequestRetries = 2
+			return p
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewRunner(tc.p, stats.NewRNG(3, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ { // warmup: grow all pools
+				r.Run()
+			}
+			allocs := testing.AllocsPerRun(200, func() { r.Run() })
+			if allocs != 0 {
+				t.Errorf("steady-state episode allocates %v times, want 0", allocs)
+			}
+		})
+	}
+}

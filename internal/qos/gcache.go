@@ -1,0 +1,98 @@
+package qos
+
+import (
+	"reflect"
+	"sync"
+
+	"satqos/internal/obs"
+	"satqos/internal/stats"
+)
+
+// The memoized G-table of the quadrature model. The same coordination
+// -window integrals recur at every sweep point of the sensitivity and
+// figure experiments — the geometry and distributions stay fixed while k
+// walks the capacity axis — so each (model, k, function) pair is solved
+// once and then served from the table, mirroring the capacity.Analytic
+// cache discipline.
+//
+// Distributions are part of the key as interface values: that is only
+// legal when their dynamic types are comparable (all the closed-form
+// families except Hyperexponential, which carries slices). Models whose
+// distributions are not comparable simply bypass the cache.
+//
+// The cache is unbounded by design — an experiment touches one entry per
+// (distribution pair, k, G-function), tens of entries in practice. Call
+// ResetGTableCache to release them.
+type gKey struct {
+	geom  Geometry
+	tau   float64
+	tol   float64
+	k     int
+	which uint8 // 0 = G0, 2 = G2, 3 = G3
+	f, h  stats.Distribution
+}
+
+var gTableCache = struct {
+	sync.RWMutex
+	m map[gKey]float64
+}{m: make(map[gKey]float64)}
+
+var (
+	gCacheHits = obs.Default().Counter("qos_gtable_cache_hits_total",
+		"Quadrature G-function evaluations served from the memo table.")
+	gCacheMisses = obs.Default().Counter("qos_gtable_cache_misses_total",
+		"Quadrature G-function evaluations performed (cache misses).")
+)
+
+// comparableDist reports whether the distribution's dynamic type can be
+// used as a map key (interface comparison panics otherwise).
+func comparableDist(d stats.Distribution) bool {
+	t := reflect.TypeOf(d)
+	return t != nil && t.Comparable()
+}
+
+// gCached wraps one G-function evaluation with the memo table. compute
+// is invoked on a miss; errors are returned uncached (invalid inputs
+// fail fast on every call).
+func (m GeneralModel) gCached(which uint8, k int, compute func() (float64, error)) (float64, error) {
+	if !comparableDist(m.SignalDuration) || !comparableDist(m.ComputeTime) {
+		return compute()
+	}
+	key := gKey{
+		geom: m.Geom, tau: m.TauMin, tol: m.Tol,
+		k: k, which: which,
+		f: m.SignalDuration, h: m.ComputeTime,
+	}
+	gTableCache.RLock()
+	v, ok := gTableCache.m[key]
+	gTableCache.RUnlock()
+	if ok {
+		gCacheHits.Inc()
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	gCacheMisses.Inc()
+	gTableCache.Lock()
+	gTableCache.m[key] = v
+	gTableCache.Unlock()
+	return v, nil
+}
+
+// GTableCacheStats returns the cumulative hit and miss counters of the
+// memoized G-table (a miss is a completed quadrature evaluation).
+func GTableCacheStats() (hits, misses uint64) {
+	return gCacheHits.Value(), gCacheMisses.Value()
+}
+
+// ResetGTableCache drops every memoized G value and zeroes the hit/miss
+// counters.
+func ResetGTableCache() {
+	gTableCache.Lock()
+	gTableCache.m = make(map[gKey]float64)
+	gTableCache.Unlock()
+	gCacheHits.Reset()
+	gCacheMisses.Reset()
+}

@@ -1,0 +1,140 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"satqos/internal/stats"
+)
+
+func sensitivityModel(t *testing.T) GeneralModel {
+	t.Helper()
+	f, err := stats.NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stats.NewExponential(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom, err := NewGeometry(90, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewGeneralModel(geom, 5, f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGTableCache: a repeated G evaluation is served from the memo (one
+// miss, then hits), Reset empties it, and the cached value is identical
+// to the computed one.
+func TestGTableCache(t *testing.T) {
+	ResetGTableCache()
+	t.Cleanup(ResetGTableCache)
+	m := sensitivityModel(t)
+
+	first, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := GTableCacheStats()
+	for i := 0; i < 5; i++ {
+		again, err := m.G2(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("cached G2 = %g differs from computed %g", again, first)
+		}
+	}
+	hits, misses := GTableCacheStats()
+	if misses != misses0 {
+		t.Errorf("repeat evaluations performed %d extra quadratures", misses-misses0)
+	}
+	if hits < 5 {
+		t.Errorf("hits = %d, want >= 5", hits)
+	}
+
+	ResetGTableCache()
+	if h, m := GTableCacheStats(); h != 0 || m != 0 {
+		t.Errorf("counters survive reset: hits=%d misses=%d", h, m)
+	}
+	again, err := sensitivityModel(t).G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Errorf("post-reset G2 = %g, want %g", again, first)
+	}
+	if _, misses := GTableCacheStats(); misses == 0 {
+		t.Error("post-reset evaluation did not recompute")
+	}
+}
+
+// TestGTableCacheDistinguishesModels: distinct tolerances, deadlines,
+// and distributions never share an entry.
+func TestGTableCacheDistinguishesModels(t *testing.T) {
+	ResetGTableCache()
+	t.Cleanup(ResetGTableCache)
+	m := sensitivityModel(t)
+	base, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slower, err := stats.NewExponential(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m
+	m2.SignalDuration = slower
+	other, err := m2.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("different signal-duration distributions returned the identical G2 value (key collision)")
+	}
+
+	m3 := m
+	m3.TauMin = 7
+	third, err := m3.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == base {
+		t.Error("different deadlines returned the identical G2 value (key collision)")
+	}
+}
+
+// TestGTableCacheNonComparableBypass: a Hyperexponential distribution
+// (slice fields, not a valid map key) bypasses the memo without
+// panicking, and still computes correctly.
+func TestGTableCacheNonComparableBypass(t *testing.T) {
+	ResetGTableCache()
+	t.Cleanup(ResetGTableCache)
+	hyper, err := stats.NewHyperexponential([]float64{0.4, 0.6}, []float64{0.2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sensitivityModel(t)
+	m.SignalDuration = hyper
+
+	v1, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || math.IsNaN(v1) {
+		t.Fatalf("bypass path unstable: %g vs %g", v1, v2)
+	}
+	if hits, _ := GTableCacheStats(); hits != 0 {
+		t.Errorf("non-comparable model hit the cache %d times", hits)
+	}
+}

@@ -57,8 +57,15 @@ func (m GeneralModel) window(w float64) float64 {
 	return stats.Survival(m.SignalDuration, w) * m.ComputeTime.CDF(m.TauMin-w)
 }
 
-// G3 is the quadrature form of Eq. (4).
+// G3 is the quadrature form of Eq. (4). Evaluations are memoized in the
+// G-table (see gcache.go) and use the fixed-node Gauss–Kronrod fast
+// path, falling back to adaptive Simpson when the embedded error
+// estimate misses the tolerance.
 func (m GeneralModel) G3(k int) (float64, error) {
+	return m.gCached(3, k, func() (float64, error) { return m.g3(k) })
+}
+
+func (m GeneralModel) g3(k int) (float64, error) {
 	if err := m.Geom.validCapacity(k); err != nil {
 		return 0, err
 	}
@@ -72,7 +79,7 @@ func (m GeneralModel) G3(k int) (float64, error) {
 	l1, _ := m.Geom.L1(k)
 	l2, _ := m.Geom.L2(k)
 	lhat := math.Min(l1-l2, m.TauMin)
-	alpha, err := numeric.Integrate(m.window, 0, lhat, m.tol())
+	alpha, err := numeric.IntegrateFast(m.window, 0, lhat, m.tol())
 	if err != nil {
 		return 0, fmt.Errorf("qos: G3 quadrature: %w", err)
 	}
@@ -97,8 +104,12 @@ func (m GeneralModel) G3BAQ(k int) (float64, error) {
 }
 
 // G2 is the quadrature form of the sequential-coverage probability
-// (Theorem 2, both windows).
+// (Theorem 2, both windows). Memoized like G3.
 func (m GeneralModel) G2(k int) (float64, error) {
+	return m.gCached(2, k, func() (float64, error) { return m.g2(k) })
+}
+
+func (m GeneralModel) g2(k int) (float64, error) {
 	if err := m.Geom.validCapacity(k); err != nil {
 		return 0, err
 	}
@@ -115,7 +126,7 @@ func (m GeneralModel) G2(k int) (float64, error) {
 
 	var total float64
 	if ltilde > l2 {
-		v, err := numeric.Integrate(m.window, l2, ltilde, m.tol())
+		v, err := numeric.IntegrateFast(m.window, l2, ltilde, m.tol())
 		if err != nil {
 			return 0, fmt.Errorf("qos: G2 quadrature: %w", err)
 		}
@@ -125,7 +136,7 @@ func (m GeneralModel) G2(k int) (float64, error) {
 		// Gap window with the detection-anchored deadline: the signal
 		// survives g + L1 from occurrence and the final iteration fits in
 		// τ − L1 of deadline budget (the clock starts at detection).
-		v, err := numeric.Integrate(func(g float64) float64 {
+		v, err := numeric.IntegrateFast(func(g float64) float64 {
 			return stats.Survival(m.SignalDuration, g+l1)
 		}, 0, l2, m.tol())
 		if err != nil {
@@ -137,7 +148,12 @@ func (m GeneralModel) G2(k int) (float64, error) {
 }
 
 // G0 is the quadrature form of the missing-target probability.
+// Memoized like G3.
 func (m GeneralModel) G0(k int) (float64, error) {
+	return m.gCached(0, k, func() (float64, error) { return m.g0(k) })
+}
+
+func (m GeneralModel) g0(k int) (float64, error) {
 	if err := m.Geom.validCapacity(k); err != nil {
 		return 0, err
 	}
@@ -153,7 +169,7 @@ func (m GeneralModel) G0(k int) (float64, error) {
 	if l2 == 0 {
 		return 0, nil
 	}
-	v, err := numeric.Integrate(m.SignalDuration.CDF, 0, l2, m.tol())
+	v, err := numeric.IntegrateFast(m.SignalDuration.CDF, 0, l2, m.tol())
 	if err != nil {
 		return 0, fmt.Errorf("qos: G0 quadrature: %w", err)
 	}
