@@ -18,9 +18,11 @@ import (
 
 	"satqos"
 	"satqos/internal/capacity"
+	"satqos/internal/constellation"
 	"satqos/internal/experiment"
 	"satqos/internal/mission"
 	"satqos/internal/oaq"
+	"satqos/internal/orbit"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -261,9 +263,12 @@ func BenchmarkProtocolEpisode(b *testing.B) {
 	}
 }
 
-// BenchmarkProtocolEpisodeCold measures the same episode including the
-// per-call setup RunEpisode pays (networks, queue, satellite pool) — the
-// cost a caller avoids by holding a Runner.
+// BenchmarkProtocolEpisodeCold measures the one-shot RunEpisode path.
+// Since the runner pool landed, a "cold" call recycles a parked
+// simulation stack through rebind instead of rebuilding it, so the
+// per-call overhead over BenchmarkProtocolEpisode is a handful of
+// allocations (metrics plumbing), not the ~50-allocation construction.
+// TestProtocolEpisodeColdAllocs gates the budget.
 func BenchmarkProtocolEpisodeCold(b *testing.B) {
 	p := oaq.ReferenceParams(10, qos.SchemeOAQ)
 	rng := stats.NewRNG(1, 0)
@@ -272,6 +277,87 @@ func BenchmarkProtocolEpisodeCold(b *testing.B) {
 		if _, err := oaq.RunEpisode(p, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestProtocolEpisodeColdAllocs gates the one-shot episode's allocation
+// budget: with the runner pool, a RunEpisode call on a warmed process
+// must stay an order of magnitude under the old ~51-alloc construction
+// cost. The budget is above zero because sync.Pool may be drained by a
+// GC between calls (forcing one real construction) and the episode's
+// own pools grow on demand.
+func TestProtocolEpisodeColdAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; the warm-pool budget holds only in plain builds")
+	}
+	p := oaq.ReferenceParams(10, qos.SchemeOAQ)
+	rng := stats.NewRNG(1, 0)
+	for i := 0; i < 300; i++ { // warm the pooled runner's internal pools
+		if _, err := oaq.RunEpisode(p, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := oaq.RunEpisode(p, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 5 {
+		t.Errorf("one-shot RunEpisode costs %.1f allocs/op on a warm pool, budget 5", allocs)
+	}
+}
+
+// coverageScanPresets are the Walker designs BenchmarkCoverageScan
+// sweeps, smallest to largest.
+var coverageScanPresets = []string{
+	constellation.PresetIridiumNEXT,
+	constellation.PresetKepler,
+	constellation.PresetOneWeb,
+	constellation.PresetStarlink,
+}
+
+// BenchmarkCoverageScan measures the structure-of-arrays fast coverage
+// scan across the Walker presets: one full covering-set query (the
+// mission engine's per-step operation) against a mid-latitude target,
+// with the time advancing every iteration so the per-plane recurrence
+// anchors are recomputed like in a real scan. The allocs/op column is
+// gated to zero by ci.sh. The /brute variants run the per-orbit
+// reference path for the speedup comparison recorded in BENCH_PR6.json.
+func BenchmarkCoverageScan(b *testing.B) {
+	target := orbit.LatLon{Lat: 30 * math.Pi / 180, Lon: 0.4}
+	for _, name := range coverageScanPresets {
+		cfg, err := constellation.PresetConfig(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := constellation.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			s := constellation.NewScanner(c)
+			dst := make([]constellation.SatRef, 0, cfg.Planes*cfg.ActivePerPlane)
+			dst = s.AppendCovering(dst, target, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = s.AppendCovering(dst[:0], target, float64(i)*0.05)
+			}
+			if len(dst) > cfg.Planes*cfg.ActivePerPlane {
+				b.Fatal("covering set larger than the fleet")
+			}
+		})
+		b.Run(name+"/brute", func(b *testing.B) {
+			views := make([]constellation.SatView, 0, c.ActiveSatellites())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				views = c.AppendCoveringSatellites(views[:0], target, float64(i)*0.05)
+			}
+			if len(views) != c.ActiveSatellites() {
+				b.Fatal("brute scan lost satellites")
+			}
+		})
 	}
 }
 

@@ -53,26 +53,28 @@ if go run ./cmd/goldencheck -only fig9 -perturb 0.05; then
     exit 1
 fi
 
-# Allocation gate: the steady-state episode hot path has a committed
-# budget of 0 allocs/op (BENCH_PR5.json). A single fixed-count bench
-# run is timing-noisy but its allocation counts are exact, so gate on
+# Allocation gate: the steady-state episode hot path and the SoA
+# coverage scan both have a committed budget of 0 allocs/op
+# (BENCH_PR5.json / BENCH_PR6.json). A single fixed-count bench run is
+# timing-noisy but its allocation counts are exact, so gate on
 # allocs/op only; ns/op trends live in the committed BENCH_*.json
-# records, which benchdiff cross-checks for internal consistency.
+# records, which benchdiff cross-checks across PRs.
 alloc_budget=0
-go test -run '^$' -bench '^BenchmarkProtocolEpisode$' -benchmem -benchtime 200x . |
+go test -run '^$' -bench '^BenchmarkProtocolEpisode$|^BenchmarkCoverageScan$' \
+    -benchmem -benchtime 200x . |
     tee "$tmpdir/bench.txt"
 awk -v budget="$alloc_budget" '
-    /^BenchmarkProtocolEpisode/ {
-        seen = 1
+    /^BenchmarkProtocolEpisode(-[0-9]+)?[ \t]/ || /^BenchmarkCoverageScan\// {
+        seen++
         allocs = $(NF - 1) + 0
         if (allocs > budget) {
-            print "allocs/op", allocs, "exceeds budget", budget; bad = 1
+            print $1, "allocs/op", allocs, "exceeds budget", budget; bad = 1
         }
     }
-    END { if (!seen) { print "benchmark did not run"; bad = 1 }; exit bad }
+    END { if (seen < 9) { print "expected 9 gated benchmarks, saw", seen + 0; bad = 1 }; exit bad }
 ' "$tmpdir/bench.txt"
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
-    BENCH_PR5.json BENCH_PR5.json
+    BENCH_PR5.json BENCH_PR6.json
 
 # Fuzz smoke tier: a short live fuzz of every target, beyond the
 # committed seed corpora (which plain `go test` already replays).

@@ -6,7 +6,9 @@
 //
 //	constsim -mode protocol -k 10 -scheme oaq -episodes 50000
 //	constsim -mode protocol -loss 0.4 -retries 2 -faults testdata/faults.json
+//	constsim -mode protocol -preset starlink
 //	constsim -mode capacity -eta 10 -lambda 5e-5 -periods 200
+//	constsim -mode capacity -preset oneweb
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"satqos/internal/capacity"
+	"satqos/internal/constellation"
 	"satqos/internal/crosslink"
 	"satqos/internal/des"
 	"satqos/internal/fault"
@@ -38,7 +41,9 @@ func main() {
 func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("constsim", flag.ContinueOnError)
 	mode := fs.String("mode", "protocol", "simulation mode: protocol | capacity | membership")
-	k := fs.Int("k", 10, "plane capacity (protocol mode)")
+	preset := fs.String("preset", constellation.PresetReference,
+		"constellation design: "+strings.Join(constellation.PresetNames(), " | "))
+	k := fs.Int("k", 10, "plane capacity (protocol mode; default derives from the preset)")
 	schemeName := fs.String("scheme", "oaq", "scheme: oaq | baq")
 	episodes := fs.Int("episodes", 20000, "signal episodes (protocol mode)")
 	tau := fs.Float64("tau", 5, "alert deadline τ (minutes)")
@@ -59,6 +64,12 @@ func run(args []string, w io.Writer) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	presetCfg, err := constellation.PresetConfig(*preset)
+	if err != nil {
+		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *metrics != "" {
 		defer func() {
 			if err == nil {
@@ -78,7 +89,21 @@ func run(args []string, w io.Writer) (err error) {
 		default:
 			return fmt.Errorf("unknown scheme %q", *schemeName)
 		}
+		geom, err := qos.NewGeometry(presetCfg.PeriodMin, presetCfg.CoverageTimeMin)
+		if err != nil {
+			return err
+		}
+		if !explicit["k"] && *preset != constellation.PresetReference {
+			// Default to the preset's full per-plane capacity, clamped to
+			// the analytic model's two-regime ceiling (dense designs like
+			// OneWeb's 36-satellite planes exceed it).
+			*k = presetCfg.ActivePerPlane
+			if maxK := geom.MaxTwoRegimeCapacity(); *k > maxK {
+				*k = maxK
+			}
+		}
 		p := oaq.ReferenceParams(*k, scheme)
+		p.Geom = geom
 		p.TauMin = *tau
 		p.SignalDuration = stats.Exponential{Rate: *mu}
 		p.ComputeTime = stats.Exponential{Rate: *nu}
@@ -100,8 +125,8 @@ func run(args []string, w io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%v protocol, k=%d, τ=%g, µ=%g, ν=%g, %d episodes\n",
-			scheme, *k, *tau, *mu, *nu, *episodes)
+		fmt.Fprintf(w, "%v protocol, preset %s (θ=%.1f min, Tc=%.2f min), k=%d, τ=%g, µ=%g, ν=%g, %d episodes\n",
+			scheme, *preset, p.Geom.ThetaMin, p.Geom.TcMin, *k, *tau, *mu, *nu, *episodes)
 		if !p.Faults.Empty() {
 			fmt.Fprintf(w, "  fault scenario %q: %d fail-silent windows, %d loss bursts, spare delay %g min\n",
 				p.Faults.Name, len(p.Faults.FailSilent), len(p.Faults.LossBursts), p.Faults.SpareDelayMin)
@@ -126,6 +151,14 @@ func run(args []string, w io.Writer) (err error) {
 
 	case "capacity":
 		p := capacity.ReferenceParams(*eta, *lambda, *phi)
+		p.ActivePerPlane = presetCfg.ActivePerPlane
+		p.Spares = presetCfg.SparesPerPlane
+		if !explicit["eta"] && *preset != constellation.PresetReference {
+			// Keep the threshold the same distance below full capacity as
+			// the paper's reference setting (η = 10 under N = 14).
+			p.Eta = max(1, p.ActivePerPlane-4)
+			*eta = p.Eta
+		}
 		ana, err := p.Analytic()
 		if err != nil {
 			return err
@@ -134,10 +167,10 @@ func run(args []string, w io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "plane capacity, η=%d, λ=%g/h, φ=%g h, %d periods simulated\n",
-			*eta, *lambda, *phi, *periods)
+		fmt.Fprintf(w, "plane capacity, preset %s (N=%d, S=%d), η=%d, λ=%g/h, φ=%g h, %d periods simulated\n",
+			*preset, p.ActivePerPlane, p.Spares, p.Eta, *lambda, *phi, *periods)
 		fmt.Fprintf(w, "  %-4s %-10s %-10s\n", "k", "analytic", "simulated")
-		for kk := *eta; kk <= 14; kk++ {
+		for kk := p.Eta; kk <= p.ActivePerPlane; kk++ {
 			fmt.Fprintf(w, "  %-4d %-10.4f %-10.4f\n", kk, ana.P(kk), sim.P(kk))
 		}
 		fmt.Fprintf(w, "  mean capacity: analytic %.3f, simulated %.3f\n", ana.Mean(), sim.Mean())

@@ -114,10 +114,51 @@ func TestProtocolModeFaulted(t *testing.T) {
 	}
 }
 
+func TestProtocolModePreset(t *testing.T) {
+	var b strings.Builder
+	// OneWeb's 36-satellite planes exceed the two-regime ceiling, so the
+	// derived default capacity must be clamped rather than rejected.
+	if err := run([]string{"-mode", "protocol", "-preset", "oneweb", "-episodes", "500"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "preset oneweb") {
+		t.Errorf("output missing preset header:\n%s", out)
+	}
+	if !strings.Contains(out, "θ=109.4") {
+		t.Errorf("OneWeb period (1200 km → 109.4 min) not reflected:\n%s", out)
+	}
+	// An explicit -k wins over the derived default.
+	b.Reset()
+	if err := run([]string{"-mode", "protocol", "-preset", "kepler", "-k", "12", "-episodes", "500"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k=12") {
+		t.Errorf("explicit -k overridden:\n%s", b.String())
+	}
+}
+
+func TestCapacityModePreset(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "capacity", "-preset", "iridium-next", "-periods", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "preset iridium-next (N=11, S=1)") {
+		t.Errorf("preset plane shape not reflected:\n%s", out)
+	}
+	if !strings.Contains(out, "η=7") {
+		t.Errorf("derived threshold η=N-4 not reflected:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-mode", "bogus"}, &b); err == nil {
 		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "protocol", "-preset", "no-such-design"}, &b); err == nil {
+		t.Error("unknown preset accepted")
 	}
 	if err := run([]string{"-mode", "protocol", "-scheme", "bogus"}, &b); err == nil {
 		t.Error("unknown scheme accepted")

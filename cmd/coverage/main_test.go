@@ -53,4 +53,39 @@ func TestCoverageErrors(t *testing.T) {
 	if err := run([]string{"-junk"}, &b); err == nil {
 		t.Error("bad flag accepted")
 	}
+	if err := run([]string{"-preset", "no-such-design"}, &b); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestCoveragePresets(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-preset", "starlink"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"starlink constellation (Walker delta)", "72 planes", "1584 active satellites",
+		"inclination 53.0", "Coverage map",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("starlink output missing %q", want)
+		}
+	}
+	// A 53°-inclined shell leaves the polar rows uncovered and the
+	// mid-latitudes deeply covered.
+	if !strings.Contains(out, "+80 ") || !strings.Contains(out, ".") {
+		t.Error("expected uncovered polar cells in the starlink map")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("expected >9-fold coverage cells in the starlink map")
+	}
+
+	b.Reset()
+	if err := run([]string{"-preset", "iridium-next"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "66 active satellites") {
+		t.Error("iridium-next should report 66 active satellites")
+	}
 }

@@ -8,6 +8,14 @@
 // survivors undergo a phasing adjustment that redistributes them evenly,
 // stretching the revisit time Tr[k] = θ/k until footprints underlap
 // (Tr[k] ≥ Tc).
+//
+// Beyond the reference design, Config parameterizes general Walker
+// star/delta constellations (RAAN spread π vs 2π, integer phasing factor
+// F), with named presets up to Starlink scale (presets.go), and Scanner
+// provides a structure-of-arrays coverage scan that sustains those
+// designs: one anchor angle per plane per time step, every in-plane
+// position by trigonometric recurrence, coverage decided by a dot
+// product against a precomputed cos ψ (scanner.go).
 package constellation
 
 import (
@@ -36,8 +44,14 @@ type Config struct {
 	CoverageTimeMin float64
 	// InterPlanePhaseFrac staggers the phase of plane i by
 	// i·InterPlanePhaseFrac·(2π/ActivePerPlane) (a Walker-style phasing
-	// factor in [0, 1)).
+	// factor in [0, 1)). For a classical Walker i:T/P/F design with
+	// integer phasing factor F, set it to F/Planes (WalkerConfig does).
 	InterPlanePhaseFrac float64
+	// Walker selects the RAAN layout of the planes: WalkerStar (the zero
+	// value, ascending nodes spread over π — the reference design and the
+	// polar mega-constellations) or WalkerDelta (spread over 2π — the
+	// inclined Starlink-style shells).
+	Walker WalkerKind
 }
 
 // DefaultConfig returns the reference constellation of the paper:
@@ -71,6 +85,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("constellation: inclination %g° outside [0, 180]", c.InclinationDeg)
 	case c.InterPlanePhaseFrac < 0 || c.InterPlanePhaseFrac >= 1:
 		return fmt.Errorf("constellation: inter-plane phase fraction %g outside [0, 1)", c.InterPlanePhaseFrac)
+	case !c.Walker.Valid():
+		return fmt.Errorf("constellation: unknown Walker kind %d", int(c.Walker))
 	}
 	return nil
 }

@@ -17,8 +17,20 @@ type Plane struct {
 	raan     float64
 	phaseRef float64
 
+	// Geometry cached at construction: the footprint (whose half-angle
+	// depends only on the shared period and Tc, both immutable) and the
+	// plane's rotation frame (inclination and RAAN never change). Queries
+	// read these instead of rebuilding a CircularOrbit per call.
+	fp    orbit.Footprint
+	frame orbit.Frame
+
 	active int
 	spares int
+
+	// version counts geometry-visible state changes (capacity drops and
+	// restores, which re-phase the ring). Scanner caches per-plane
+	// recurrence state keyed by this counter.
+	version uint64
 
 	// Counters for reporting.
 	failures        int
@@ -28,14 +40,26 @@ type Plane struct {
 }
 
 func newPlane(cfg Config, index int) *Plane {
-	return &Plane{
+	raan := cfg.Walker.RAANSpread() * float64(index) / float64(cfg.Planes)
+	p := &Plane{
 		cfg:      cfg,
 		index:    index,
-		raan:     math.Pi * float64(index) / float64(cfg.Planes),
+		raan:     raan,
 		phaseRef: 2 * math.Pi / float64(cfg.ActivePerPlane) * cfg.InterPlanePhaseFrac * float64(index),
+		frame:    orbit.NewFrame(cfg.InclinationDeg*math.Pi/180, raan),
 		active:   cfg.ActivePerPlane,
 		spares:   cfg.SparesPerPlane,
+		version:  1,
 	}
+	o := p.referenceOrbit(0)
+	fp, err := orbit.FootprintFromCoverageTime(o, cfg.CoverageTimeMin)
+	if err != nil {
+		// Config was validated at construction: 0 < Tc < period implies a
+		// legal half-angle.
+		panic(fmt.Sprintf("constellation: invalid footprint from validated config: %v", err))
+	}
+	p.fp = fp
+	return p
 }
 
 // Index returns the plane's position within the constellation.
@@ -44,6 +68,16 @@ func (p *Plane) Index() int { return p.index }
 // RAAN returns the plane's right ascension of the ascending node in
 // radians.
 func (p *Plane) RAAN() float64 { return p.raan }
+
+// Frame returns the plane's cached rotation frame (the in-plane basis of
+// orbit.Frame), computed once at construction.
+func (p *Plane) Frame() orbit.Frame { return p.frame }
+
+// Version returns a counter that advances whenever the plane's satellite
+// geometry changes (a capacity drop with re-phasing, or a restore).
+// Callers caching derived per-plane state — the fast coverage scanner —
+// use it to detect staleness without recomputing anything.
+func (p *Plane) Version() uint64 { return p.version }
 
 // ActiveCount returns k, the number of active operational satellites.
 func (p *Plane) ActiveCount() int { return p.active }
@@ -90,17 +124,10 @@ func (p *Plane) Overlapping() bool {
 	return p.RevisitTime() < p.cfg.CoverageTimeMin
 }
 
-// Footprint returns the coverage footprint of this plane's satellites.
-func (p *Plane) Footprint() orbit.Footprint {
-	o := p.referenceOrbit(0)
-	fp, err := orbit.FootprintFromCoverageTime(o, p.cfg.CoverageTimeMin)
-	if err != nil {
-		// Config was validated at construction: 0 < Tc < period implies a
-		// legal half-angle.
-		panic(fmt.Sprintf("constellation: invalid footprint from validated config: %v", err))
-	}
-	return fp
-}
+// Footprint returns the coverage footprint of this plane's satellites,
+// cached at construction (the half-angle depends only on the immutable
+// period and coverage time, not on the plane's degradation state).
+func (p *Plane) Footprint() orbit.Footprint { return p.fp }
 
 func (p *Plane) referenceOrbit(phase float64) orbit.CircularOrbit {
 	o, err := orbit.NewCircularOrbit(p.cfg.PeriodMin, p.cfg.InclinationDeg*math.Pi/180, p.raan, phase)
@@ -148,6 +175,7 @@ func (p *Plane) FailActive() error {
 	}
 	p.active--
 	p.phasingAdjusted++
+	p.version++
 	return nil
 }
 
@@ -157,6 +185,9 @@ func (p *Plane) FailActive() error {
 func (p *Plane) RestoreFull() {
 	if p.active == p.cfg.ActivePerPlane && p.spares == p.cfg.SparesPerPlane {
 		return
+	}
+	if p.active != p.cfg.ActivePerPlane {
+		p.version++
 	}
 	p.active = p.cfg.ActivePerPlane
 	p.spares = p.cfg.SparesPerPlane

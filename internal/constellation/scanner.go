@@ -1,0 +1,203 @@
+package constellation
+
+import (
+	"math"
+
+	"satqos/internal/orbit"
+)
+
+// SatRef identifies one active satellite by plane and in-plane index
+// (valid until the plane's next phasing adjustment) — the
+// structure-of-arrays scan's compact result element.
+type SatRef struct {
+	Plane, Index int
+}
+
+// Scanner is the structure-of-arrays fast coverage scan: the
+// mega-constellation counterpart of AppendCoveringSatellites. Per time
+// step it computes one anchor angle per plane and one (sin Δ, cos Δ)
+// pair (Δ = 2π/k), generates every in-plane satellite's unit position by
+// the angle-addition recurrence, and tests coverage by comparing the dot
+// product of unit position vectors against the precomputed cos ψ — zero
+// per-satellite transcendental calls, with a latitude-band rejection
+// (the satellite's z-coordinate outside [sin(φ−ψ), sin(φ+ψ)] cannot
+// cover a target at latitude φ) ahead of the dot product.
+//
+// The covering set it produces is identical to filtering
+// AppendCoveringSatellites on Covers, in the same plane-major order
+// (TestScannerMatchesBruteForce holds the two paths to exact agreement
+// across the Walker presets and degradation states). A steady-state
+// query performs no heap allocations once dst has grown to the covering
+// set's high-water mark.
+//
+// A Scanner caches per-plane recurrence state keyed by Plane.Version, so
+// it tracks capacity drops and restores automatically. It is not safe
+// for concurrent use; create one per goroutine (the mission engine keeps
+// one per episode scratch).
+type Scanner struct {
+	c      *Constellation
+	planes []planeScan
+
+	// Latitude-band memo: the z-bounds depend only on the target
+	// latitude and the footprint half-angle, both constant across a
+	// mission episode's many scan steps.
+	bandLat, bandHalf, bandLo, bandHi float64
+	bandValid                         bool
+}
+
+// planeScan is one plane's cached scan state.
+type planeScan struct {
+	version    uint64
+	k          int
+	frame      orbit.Frame
+	phaseRef   float64
+	n          float64 // mean motion, rad/min
+	cosD, sinD float64 // angle-addition step Δ = 2π/k
+	half       float64 // footprint half-angle ψ
+	cosHalf    float64
+}
+
+// NewScanner builds a fast scanner over the constellation. The scanner
+// reads the constellation's planes on every query; it never mutates
+// them.
+func NewScanner(c *Constellation) *Scanner {
+	s := &Scanner{c: c, planes: make([]planeScan, len(c.planes))}
+	for i := range c.planes {
+		s.refresh(i)
+	}
+	return s
+}
+
+// refresh rebuilds plane i's cached scan state from the live plane.
+func (s *Scanner) refresh(i int) *planeScan {
+	p := s.c.planes[i]
+	ps := &s.planes[i]
+	ps.version = p.version
+	ps.k = p.active
+	ps.frame = p.frame
+	ps.phaseRef = p.phaseRef
+	ps.n = 2 * math.Pi / p.cfg.PeriodMin
+	ps.half = p.fp.HalfAngle
+	ps.cosHalf = math.Cos(ps.half)
+	if p.active > 0 {
+		ps.sinD, ps.cosD = math.Sincos(2 * math.Pi / float64(p.active))
+	} else {
+		ps.sinD, ps.cosD = 0, 1
+	}
+	return ps
+}
+
+// plane returns plane i's scan state, refreshing it if the live plane
+// has re-phased since it was cached.
+func (s *Scanner) plane(i int) *planeScan {
+	ps := &s.planes[i]
+	if ps.version != s.c.planes[i].version {
+		ps = s.refresh(i)
+	}
+	return ps
+}
+
+// latBandPad widens the latitude band in z-space so floating-point
+// rounding in the rejection test can never exclude a satellite the exact
+// dot-product test would accept (the band is a mathematical superset of
+// the footprint; the pad covers the last-ulp cases).
+const latBandPad = 1e-12
+
+// band returns the z-interval a covering satellite's unit position must
+// lie in for a target at latitude lat under half-angle half: a satellite
+// whose sub-point latitude differs from the target's by more than ψ is
+// at least ψ away in great-circle terms.
+func (s *Scanner) band(lat, half float64) (lo, hi float64) {
+	if s.bandValid && s.bandLat == lat && s.bandHalf == half {
+		return s.bandLo, s.bandHi
+	}
+	lo, hi = -1.0, 1.0
+	if l := lat - half; l > -math.Pi/2 {
+		lo = math.Sin(l) - latBandPad
+	}
+	if h := lat + half; h < math.Pi/2 {
+		hi = math.Sin(h) + latBandPad
+	}
+	s.bandLat, s.bandHalf, s.bandLo, s.bandHi = lat, half, lo, hi
+	s.bandValid = true
+	return lo, hi
+}
+
+// AppendCovering appends a reference to every active satellite whose
+// footprint covers the target at time t (minutes), in the same
+// plane-major order as AppendCoveringSatellites, and returns the
+// extended slice. Reusing dst[:0] across scan steps makes the query
+// allocation-free at steady state.
+func (s *Scanner) AppendCovering(dst []SatRef, target orbit.LatLon, t float64) []SatRef {
+	u := target.UnitECI(t)
+	for pi := range s.planes {
+		ps := s.plane(pi)
+		k := ps.k
+		if k == 0 {
+			continue
+		}
+		zLo, zHi := s.band(target.Lat, ps.half)
+		sin, cos := math.Sincos(ps.phaseRef + ps.n*t)
+		px, py := ps.frame.P.X, ps.frame.P.Y
+		qx, qy, qz := ps.frame.Q.X, ps.frame.Q.Y, ps.frame.Q.Z
+		for i := 0; i < k; i++ {
+			if z := qz * sin; z >= zLo && z <= zHi {
+				x := px*cos + qx*sin
+				y := py*cos + qy*sin
+				if x*u.X+y*u.Y+z*u.Z >= ps.cosHalf {
+					dst = append(dst, SatRef{Plane: pi, Index: i})
+				}
+			}
+			cos, sin = cos*ps.cosD-sin*ps.sinD, sin*ps.cosD+cos*ps.sinD
+		}
+	}
+	return dst
+}
+
+// CoverageCount returns how many active satellites cover the target at
+// time t — the fast counterpart of SimultaneousCoverageCount.
+func (s *Scanner) CoverageCount(target orbit.LatLon, t float64) int {
+	n := 0
+	u := target.UnitECI(t)
+	for pi := range s.planes {
+		ps := s.plane(pi)
+		k := ps.k
+		if k == 0 {
+			continue
+		}
+		zLo, zHi := s.band(target.Lat, ps.half)
+		sin, cos := math.Sincos(ps.phaseRef + ps.n*t)
+		px, py := ps.frame.P.X, ps.frame.P.Y
+		qx, qy, qz := ps.frame.Q.X, ps.frame.Q.Y, ps.frame.Q.Z
+		for i := 0; i < k; i++ {
+			if z := qz * sin; z >= zLo && z <= zHi {
+				x := px*cos + qx*sin
+				y := py*cos + qy*sin
+				if x*u.X+y*u.Y+z*u.Z >= ps.cosHalf {
+					n++
+				}
+			}
+			cos, sin = cos*ps.cosD-sin*ps.sinD, sin*ps.cosD+cos*ps.sinD
+		}
+	}
+	return n
+}
+
+// Separation returns the great-circle angle (radians) between satellite
+// ref's sub-point and the target at time t, computed from the scanner's
+// unit-vector geometry. It is the validation hook that pins the fast
+// scan's positions to the per-orbit path (the one acos here is off the
+// scan hot path).
+func (s *Scanner) Separation(ref SatRef, target orbit.LatLon, t float64) float64 {
+	ps := s.plane(ref.Plane)
+	u := ps.phaseRef + 2*math.Pi*float64(ref.Index)/float64(ps.k) + ps.n*t
+	sin, cos := math.Sincos(u)
+	pos := ps.frame.UnitPosition(cos, sin)
+	d := pos.Dot(target.UnitECI(t))
+	if d > 1 {
+		d = 1
+	} else if d < -1 {
+		d = -1
+	}
+	return math.Acos(d)
+}

@@ -224,6 +224,31 @@ func (n *Network) SetLossProb(p float64) {
 	n.lossProb = p
 }
 
+// Reconfigure rebinds the network to a new parameter set and RNG without
+// discarding its storage — the hook that lets a pooled simulation stack
+// (package oaq recycles whole episode runners across one-shot calls)
+// serve configurations it was not built with. It applies the same
+// validation as NewNetwork and implies a Reset: the previous epoch's
+// in-flight messages are fenced off, and the new loss probability
+// becomes the base that future Resets restore.
+func (n *Network) Reconfigure(cfg Config, rng *stats.RNG) error {
+	if rng == nil {
+		return fmt.Errorf("crosslink: RNG is required")
+	}
+	if cfg.MaxDelayMin <= 0 || math.IsNaN(cfg.MaxDelayMin) {
+		return fmt.Errorf("crosslink: max delay δ = %g must be positive", cfg.MaxDelayMin)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 || math.IsNaN(cfg.LossProb) {
+		return fmt.Errorf("crosslink: loss probability %g outside [0, 1]", cfg.LossProb)
+	}
+	n.rng = rng
+	n.delta = cfg.MaxDelayMin
+	n.lossProb = cfg.LossProb
+	n.baseLossProb = cfg.LossProb
+	n.Reset()
+	return nil
+}
+
 // Reset clears the handler registrations, fail-silence marks, and
 // counters, restores the configured base loss probability, and fences
 // off any still-scheduled deliveries of the previous epoch (they will

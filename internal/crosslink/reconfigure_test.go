@@ -1,0 +1,77 @@
+package crosslink
+
+import (
+	"testing"
+
+	"satqos/internal/des"
+	"satqos/internal/stats"
+)
+
+// TestReconfigureRebindsNetwork: Reconfigure swaps δ, loss probability,
+// and RNG in place, fences the previous epoch's in-flight traffic, and
+// makes the new loss probability the base that Reset restores.
+func TestReconfigureRebindsNetwork(t *testing.T) {
+	sim := &des.Simulation{}
+	n, err := NewNetwork(sim, Config{MaxDelayMin: 1, LossProb: 0}, stats.NewRNG(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(1, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, 2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.Reconfigure(Config{MaxDelayMin: 3, LossProb: 1}, stats.NewRNG(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n.MaxDelay() != 3 || n.LossProb() != 1 {
+		t.Fatalf("δ=%g loss=%g after Reconfigure, want 3 and 1", n.MaxDelay(), n.LossProb())
+	}
+	// The pre-Reconfigure message belongs to a dead epoch: it must not
+	// reach a handler or touch the fresh counters.
+	sim.Reset()
+	sim.Run(100)
+	if s := n.Stats(); s != (Stats{}) {
+		t.Fatalf("dead-epoch message leaked into fresh stats: %+v", s)
+	}
+
+	// The new loss probability is the base Reset restores.
+	n.SetLossProb(0.25)
+	n.Reset()
+	if n.LossProb() != 1 {
+		t.Fatalf("Reset restored loss %g, want the reconfigured base 1", n.LossProb())
+	}
+
+	// LossProb 1 drops every send.
+	if err := n.Register(1, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, func(float64, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(1, 2, "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.DroppedLoss != 1 {
+		t.Fatalf("loss-1 network did not drop the send: %+v", s)
+	}
+
+	for _, bad := range []struct {
+		name string
+		cfg  Config
+		rng  *stats.RNG
+	}{
+		{"nil rng", Config{MaxDelayMin: 1}, nil},
+		{"zero delay", Config{}, stats.NewRNG(1, 1)},
+		{"loss out of range", Config{MaxDelayMin: 1, LossProb: 2}, stats.NewRNG(1, 1)},
+	} {
+		if err := n.Reconfigure(bad.cfg, bad.rng); err == nil {
+			t.Errorf("%s: Reconfigure accepted invalid input", bad.name)
+		}
+	}
+}

@@ -171,6 +171,13 @@ const coverScanStep = 0.05
 
 // Run executes the mission for the given horizon (minutes).
 func Run(cfg Config, horizonMin float64) (*Report, error) {
+	return run(cfg, horizonMin, false)
+}
+
+// run is Run with the scan-path selector exposed: brute forces the
+// per-orbit reference scan in place of the fast scanner (the white-box
+// equivalence test runs both and compares whole reports).
+func run(cfg Config, horizonMin float64, brute bool) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,7 +208,7 @@ func Run(cfg Config, horizonMin float64) (*Report, error) {
 	// to the workload — so episodes are independent and the batch can fan
 	// out across workers without changing any outcome. The constellation
 	// is only read (coverage queries), never mutated, during the batch.
-	m := &runner{cfg: cfg, cons: cons}
+	m := &runner{cfg: cfg, cons: cons, brute: brute}
 	outcomes, err := parallel.MapSlice(cfg.Workers, len(signals), func(i int) (EpisodeOutcome, error) {
 		return m.episode(signals[i], stats.NewRNG(cfg.Seed, uint64(i)+1)), nil
 	})
@@ -266,16 +273,24 @@ type runner struct {
 	// every worker of the batch, so the buffers go through a sync.Pool:
 	// one Get/Put per episode, reused allocation-free within it.
 	scratch sync.Pool
+	// brute forces the per-orbit reference scan instead of the SoA fast
+	// scanner. Test hook: TestFastScanMatchesBruteMission holds the two
+	// paths to identical reports.
+	brute bool
 }
 
 // satKey identifies a satellite across queries.
 type satKey struct{ plane, index int }
 
-// episodeScratch holds one episode's coverage-scan buffers: the raw
-// fleet views, the covering set (overwritten by every scan step), the
-// pinned detection-time covering set, the fresh-opportunity set, and
-// the fault-ordinal assignment.
+// episodeScratch holds one episode's coverage-scan state: the fast
+// scanner (one per scratch — scanners are single-goroutine, and the
+// scratch is owned by exactly one worker at a time), its covering-ref
+// buffer, the covering set (overwritten by every scan step), the pinned
+// detection-time covering set, the fresh-opportunity set, and the
+// fault-ordinal assignment. views backs the brute-force reference path.
 type episodeScratch struct {
+	scan     *constellation.Scanner
+	refs     []constellation.SatRef
 	views    []constellation.SatView
 	cov      []satKey
 	initial  []satKey
@@ -283,15 +298,27 @@ type episodeScratch struct {
 	ordinals map[satKey]int
 }
 
-// coveringAt lists the satellites covering the target at time t. The
+// coveringAt lists the satellites covering the target at time t, via the
+// structure-of-arrays fast scan (or the per-orbit reference path when
+// the brute hook is set — the two produce identical covering sets). The
 // result aliases sc.cov; the next call overwrites it.
 func (r *runner) coveringAt(sc *episodeScratch, target orbit.LatLon, t float64) []satKey {
-	sc.views = r.cons.AppendCoveringSatellites(sc.views[:0], target, t)
 	sc.cov = sc.cov[:0]
-	for _, v := range sc.views {
-		if v.Covers {
-			sc.cov = append(sc.cov, satKey{v.Plane, v.Index})
+	if r.brute {
+		sc.views = r.cons.AppendCoveringSatellites(sc.views[:0], target, t)
+		for _, v := range sc.views {
+			if v.Covers {
+				sc.cov = append(sc.cov, satKey{v.Plane, v.Index})
+			}
 		}
+		return sc.cov
+	}
+	if sc.scan == nil {
+		sc.scan = constellation.NewScanner(r.cons)
+	}
+	sc.refs = sc.scan.AppendCovering(sc.refs[:0], target, t)
+	for _, ref := range sc.refs {
+		sc.cov = append(sc.cov, satKey{ref.Plane, ref.Index})
 	}
 	return sc.cov
 }

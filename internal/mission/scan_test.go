@@ -1,0 +1,84 @@
+package mission
+
+import (
+	"testing"
+
+	"satqos/internal/constellation"
+	"satqos/internal/fault"
+	"satqos/internal/qos"
+	"satqos/internal/signal"
+)
+
+// TestFastScanMatchesBruteMission: the mission report is bit-identical
+// whether episodes scan coverage through the SoA fast scanner (the
+// default) or the per-orbit reference path — including under a fault
+// scenario, whose ordinal assignment depends on the exact covering-set
+// order, and on a Walker preset rather than the reference design.
+func TestFastScanMatchesBruteMission(t *testing.T) {
+	iridium, err := constellation.PresetConfig(constellation.PresetIridiumNEXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		horizon float64
+	}{
+		{"reference", func(cfg *Config) {}, 300},
+		{"faulted", func(cfg *Config) {
+			cfg.Faults = &fault.Scenario{FailSilent: []fault.FailSilentWindow{
+				{Sat: 1, StartMin: 0, EndMin: 2},
+				{Sat: 2, StartMin: 1, EndMin: 4},
+			}}
+		}, 300},
+		{"walker-preset", func(cfg *Config) {
+			cfg.Constellation = iridium
+			cfg.Position = signal.LatitudeBand{MinLatDeg: -55, MaxLatDeg: 55}
+		}, 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.SignalRatePerMin = 0.08
+			tc.mutate(&cfg)
+			fast, err := Run(cfg, tc.horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := run(cfg, tc.horizon, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Episodes != brute.Episodes || len(fast.Outcomes) != len(brute.Outcomes) {
+				t.Fatalf("episode counts differ: fast %d/%d, brute %d/%d",
+					fast.Episodes, len(fast.Outcomes), brute.Episodes, len(brute.Outcomes))
+			}
+			if fast.Episodes < 10 {
+				t.Fatalf("only %d episodes; not a meaningful comparison", fast.Episodes)
+			}
+			if fast.DetectedFraction != brute.DetectedFraction {
+				t.Errorf("detected fraction: fast %v, brute %v", fast.DetectedFraction, brute.DetectedFraction)
+			}
+			for l := qos.Level(0); l < qos.NumLevels; l++ {
+				if fast.PMF[l] != brute.PMF[l] {
+					t.Errorf("PMF[%v]: fast %v, brute %v", l, fast.PMF[l], brute.PMF[l])
+				}
+				if !sameFloat(fast.MeanRealizedErrorKm[l], brute.MeanRealizedErrorKm[l]) ||
+					fast.MeanRealizedErrorKm[l] == 0 != (brute.MeanRealizedErrorKm[l] == 0) {
+					t.Errorf("realized error[%v]: fast %v, brute %v",
+						l, fast.MeanRealizedErrorKm[l], brute.MeanRealizedErrorKm[l])
+				}
+			}
+			for i := range fast.Outcomes {
+				f, b := fast.Outcomes[i], brute.Outcomes[i]
+				if f.Signal != b.Signal || f.Level != b.Level || f.Detected != b.Detected ||
+					f.PassesFused != b.PassesFused ||
+					!sameFloat(f.DetectionDelay, b.DetectionDelay) ||
+					!sameFloat(f.RealizedErrorKm, b.RealizedErrorKm) ||
+					!sameFloat(f.EstimatedErrorKm, b.EstimatedErrorKm) {
+					t.Fatalf("episode %d diverged:\nfast  %+v\nbrute %+v", i, f, b)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package oaq
+
+import (
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// TestPooledRunEpisodeMatchesFreshRunner: one-shot RunEpisode calls —
+// which recycle a parked runner through rebind — produce the same
+// outcome as a freshly constructed Runner on the same substream, even
+// when consecutive calls alternate parameter sets (so each call rebinds
+// the pooled stack to a configuration it was not built with).
+func TestPooledRunEpisodeMatchesFreshRunner(t *testing.T) {
+	configs := []Params{
+		ReferenceParams(10, qos.SchemeOAQ),
+		ReferenceParams(12, qos.SchemeOAQ),
+		ReferenceParams(10, qos.SchemeBAQ),
+	}
+	configs[0].MessageLossProb = 0.15
+	configs[1].BackwardMessaging = true
+
+	for round := 0; round < 3; round++ {
+		for ci, p := range configs {
+			seed, stream := uint64(ci+1), uint64(round+1)
+			oneShot, err := RunEpisode(p, stats.NewRNG(seed, stream))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := NewRunner(p, stats.NewRNG(seed, stream))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run()
+			if !episodeResultsEqual(oneShot, want) {
+				t.Fatalf("round %d config %d: pooled one-shot %+v, fresh runner %+v",
+					round, ci, oneShot, want)
+			}
+		}
+	}
+}
+
+// TestPooledRunEpisodeRejectsInvalidParams: validation errors surface
+// from the pooled path exactly as from construction, and the pool stays
+// usable afterwards.
+func TestPooledRunEpisodeRejectsInvalidParams(t *testing.T) {
+	// Warm the pool so the invalid call exercises the rebind path too.
+	if _, err := RunEpisode(ReferenceParams(10, qos.SchemeOAQ), stats.NewRNG(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := ReferenceParams(10, qos.SchemeOAQ)
+	bad.TauMin = -1
+	if _, err := RunEpisode(bad, stats.NewRNG(1, 2)); err == nil {
+		t.Fatal("invalid params accepted by pooled RunEpisode")
+	}
+	if _, err := RunEpisode(ReferenceParams(10, qos.SchemeOAQ), stats.NewRNG(1, 3)); err != nil {
+		t.Fatalf("pool unusable after rejected params: %v", err)
+	}
+}

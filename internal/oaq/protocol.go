@@ -3,6 +3,7 @@ package oaq
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"satqos/internal/crosslink"
 	"satqos/internal/des"
@@ -711,17 +712,75 @@ func (r *episodeRunner) run() EpisodeResult {
 	return res
 }
 
+// rebind retargets an existing runner at new parameters and a new RNG,
+// keeping every allocation — the event queue, the crosslink fabrics and
+// their freelists, the satellite pool, the scan buffers. It performs
+// exactly the derivations of newEpisodeRunner; a rebound runner is
+// outcome-for-outcome identical to a freshly built one because neither
+// construction path consumes the RNG.
+func (r *episodeRunner) rebind(p Params, rng *stats.RNG) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if rng == nil {
+		return fmt.Errorf("oaq: RNG is required")
+	}
+	tr, err := p.Geom.Tr(p.K)
+	if err != nil {
+		return err
+	}
+	overlap, err := p.Geom.Overlapping(p.K)
+	if err != nil {
+		return err
+	}
+	e := &r.ep
+	if err := e.net.Reconfigure(crosslink.Config{
+		MaxDelayMin: p.DeltaMin,
+		LossProb:    p.MessageLossProb,
+	}, rng); err != nil {
+		return err
+	}
+	if err := e.ground.Reconfigure(crosslink.Config{MaxDelayMin: p.DeltaMin}, rng); err != nil {
+		return err
+	}
+	e.p = p
+	e.rng = rng
+	e.l1 = tr
+	e.tc = p.Geom.TcMin
+	e.overlap = overlap
+	return nil
+}
+
+// runnerPool recycles episode runners across one-shot RunEpisode calls.
+// A cold RunEpisode used to pay the full ~50-allocation construction of
+// the simulation stack per call; with the pool, one-shot callers reuse a
+// parked runner via rebind and only the first call on a quiet process
+// builds one. The pool holds runners between calls only — a runner is
+// never in the pool while running, so the single-goroutine discipline of
+// episodeRunner is preserved.
+var runnerPool sync.Pool
+
 // RunEpisode simulates one signal episode under the given parameters and
 // returns its outcome.
 func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
-	r, err := newEpisodeRunner(p, rng)
-	if err != nil {
+	r, _ := runnerPool.Get().(*episodeRunner)
+	if r == nil {
+		var err error
+		r, err = newEpisodeRunner(p, rng)
+		if err != nil {
+			return EpisodeResult{}, err
+		}
+	} else if err := r.rebind(p, rng); err != nil {
+		// Validation failed before the runner was touched; park it again.
+		runnerPool.Put(r)
 		return EpisodeResult{}, err
 	}
 	m := maybeShardMetrics(p.Metrics)
 	r.setMetrics(m)
 	res := r.run()
 	m.publish(p.Metrics)
+	r.setMetrics(nil)
+	runnerPool.Put(r)
 	return res, nil
 }
 

@@ -1,7 +1,7 @@
 package qos
 
 import (
-	"reflect"
+	"strconv"
 	"sync"
 
 	"satqos/internal/obs"
@@ -15,10 +15,13 @@ import (
 // once and then served from the table, mirroring the capacity.Analytic
 // cache discipline.
 //
-// Distributions are part of the key as interface values: that is only
-// legal when their dynamic types are comparable (all the closed-form
-// families except Hyperexponential, which carries slices). Models whose
-// distributions are not comparable simply bypass the cache.
+// Distributions enter the key as canonical strings: every closed-form
+// family encodes its parameters into an exact hex-float byte string, so
+// slice-carrying families (Hyperexponential) cache just like comparable
+// ones, and two structurally equal mixtures built from different slices
+// share an entry. A distribution outside the known families bypasses the
+// cache — keying on anything weaker (say a pointer identity) could serve
+// a stale value to a mutated or recycled distribution.
 //
 // The cache is unbounded by design — an experiment touches one entry per
 // (distribution pair, k, G-function), tens of entries in practice. Call
@@ -28,8 +31,8 @@ type gKey struct {
 	tau   float64
 	tol   float64
 	k     int
-	which uint8 // 0 = G0, 2 = G2, 3 = G3
-	f, h  stats.Distribution
+	which uint8  // 0 = G0, 2 = G2, 3 = G3
+	f, h  string // canonical distribution encodings
 }
 
 var gTableCache = struct {
@@ -44,24 +47,62 @@ var (
 		"Quadrature G-function evaluations performed (cache misses).")
 )
 
-// comparableDist reports whether the distribution's dynamic type can be
-// used as a map key (interface comparison panics otherwise).
-func comparableDist(d stats.Distribution) bool {
-	t := reflect.TypeOf(d)
-	return t != nil && t.Comparable()
+// hexFloat appends an exact, canonical encoding of v: hexadecimal
+// significand with the shortest exponent, so distinct float64 bit
+// patterns encode distinctly (and -0 vs +0, which behave identically in
+// every CDF, still encode distinctly — a harmless extra entry).
+func hexFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'x', -1, 64)
+}
+
+// canonicalDistKey encodes a distribution of a known family into a
+// canonical parameter string. The leading tag byte separates families
+// whose parameter lists could otherwise collide. Unknown dynamic types
+// report ok = false and are not cached.
+func canonicalDistKey(d stats.Distribution) (key string, ok bool) {
+	buf := make([]byte, 0, 48)
+	switch d := d.(type) {
+	case stats.Exponential:
+		buf = hexFloat(append(buf, 'E'), d.Rate)
+	case stats.Erlang:
+		buf = strconv.AppendInt(append(buf, 'K'), int64(d.K), 16)
+		buf = hexFloat(append(buf, ','), d.Rate)
+	case stats.Deterministic:
+		buf = hexFloat(append(buf, 'D'), d.Value)
+	case stats.Uniform:
+		buf = hexFloat(append(buf, 'U'), d.A)
+		buf = hexFloat(append(buf, ','), d.B)
+	case stats.Weibull:
+		buf = hexFloat(append(buf, 'W'), d.Shape)
+		buf = hexFloat(append(buf, ','), d.Scale)
+	case stats.Hyperexponential:
+		buf = append(buf, 'H')
+		for i := range d.Weights {
+			buf = hexFloat(append(buf, ','), d.Weights[i])
+			buf = hexFloat(append(buf, ':'), d.Rates[i])
+		}
+	default:
+		return "", false
+	}
+	return string(buf), true
 }
 
 // gCached wraps one G-function evaluation with the memo table. compute
 // is invoked on a miss; errors are returned uncached (invalid inputs
 // fail fast on every call).
 func (m GeneralModel) gCached(which uint8, k int, compute func() (float64, error)) (float64, error) {
-	if !comparableDist(m.SignalDuration) || !comparableDist(m.ComputeTime) {
+	fKey, ok := canonicalDistKey(m.SignalDuration)
+	if !ok {
+		return compute()
+	}
+	hKey, ok := canonicalDistKey(m.ComputeTime)
+	if !ok {
 		return compute()
 	}
 	key := gKey{
 		geom: m.Geom, tau: m.TauMin, tol: m.Tol,
 		k: k, which: which,
-		f: m.SignalDuration, h: m.ComputeTime,
+		f: fKey, h: hKey,
 	}
 	gTableCache.RLock()
 	v, ok := gTableCache.m[key]

@@ -110,10 +110,12 @@ func TestGTableCacheDistinguishesModels(t *testing.T) {
 	}
 }
 
-// TestGTableCacheNonComparableBypass: a Hyperexponential distribution
-// (slice fields, not a valid map key) bypasses the memo without
-// panicking, and still computes correctly.
-func TestGTableCacheNonComparableBypass(t *testing.T) {
+// TestGTableCacheHyperexponentialHits: the canonical-key encoding lets
+// slice-carrying Hyperexponential models cache like the comparable
+// families — a repeat evaluation is a hit, not a recomputation — and a
+// structurally equal mixture built from different backing slices shares
+// the entry, while different parameters do not.
+func TestGTableCacheHyperexponentialHits(t *testing.T) {
 	ResetGTableCache()
 	t.Cleanup(ResetGTableCache)
 	hyper, err := stats.NewHyperexponential([]float64{0.4, 0.6}, []float64{0.2, 1.5})
@@ -127,6 +129,81 @@ func TestGTableCacheNonComparableBypass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, misses0 := GTableCacheStats()
+	if misses0 == 0 {
+		t.Fatal("first hyperexponential evaluation did not populate the memo")
+	}
+	v2, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || math.IsNaN(v1) {
+		t.Fatalf("cached hyperexponential G2 unstable: %g vs %g", v1, v2)
+	}
+	hits, misses := GTableCacheStats()
+	if hits == 0 {
+		t.Error("repeat hyperexponential evaluation missed the memo")
+	}
+	if misses != misses0 {
+		t.Errorf("repeat evaluation performed %d extra quadratures", misses-misses0)
+	}
+
+	// A structurally equal mixture from freshly allocated slices shares
+	// the entry...
+	same, err := stats.NewHyperexponential([]float64{0.4, 0.6}, []float64{0.2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m
+	m2.SignalDuration = same
+	v3, err := m2.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 != v1 {
+		t.Errorf("equal mixture recomputed differently: %g vs %g", v3, v1)
+	}
+	if _, missesNow := GTableCacheStats(); missesNow != misses {
+		t.Error("structurally equal mixture did not share the cache entry")
+	}
+
+	// ...while different parameters never collide.
+	other, err := stats.NewHyperexponential([]float64{0.6, 0.4}, []float64{0.2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := m
+	m3.SignalDuration = other
+	v4, err := m3.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 == v1 {
+		t.Error("different mixtures returned the identical G2 value (key collision)")
+	}
+}
+
+// opaqueDist is a distribution family the canonical encoder does not
+// know: it must bypass the memo entirely (caching it under anything
+// weaker than its parameters would risk stale values).
+type opaqueDist struct{ stats.Distribution }
+
+// TestGTableCacheUnknownFamilyBypass: unknown dynamic types compute
+// correctly on every call and never touch the cache.
+func TestGTableCacheUnknownFamilyBypass(t *testing.T) {
+	ResetGTableCache()
+	t.Cleanup(ResetGTableCache)
+	inner, err := stats.NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sensitivityModel(t)
+	m.SignalDuration = opaqueDist{inner}
+
+	v1, err := m.G2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v2, err := m.G2(10)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +211,7 @@ func TestGTableCacheNonComparableBypass(t *testing.T) {
 	if v1 != v2 || math.IsNaN(v1) {
 		t.Fatalf("bypass path unstable: %g vs %g", v1, v2)
 	}
-	if hits, _ := GTableCacheStats(); hits != 0 {
-		t.Errorf("non-comparable model hit the cache %d times", hits)
+	if hits, misses := GTableCacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("unknown family touched the cache: hits=%d misses=%d", hits, misses)
 	}
 }

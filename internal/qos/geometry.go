@@ -99,6 +99,15 @@ func (g Geometry) MinOverlapCapacity() int {
 	return int(math.Floor(g.ThetaMin/g.TcMin)) + 1
 }
 
+// MaxTwoRegimeCapacity returns the largest plane capacity the paper's
+// two-regime model admits: Tr[k] ≥ Tc/2 ⟺ k ≤ 2θ/Tc. Beyond it, triple
+// simultaneous coverage appears and the analytic level probabilities no
+// longer apply (20 for the reference geometry). Callers sizing a model
+// for a dense Walker preset clamp k here.
+func (g Geometry) MaxTwoRegimeCapacity() int {
+	return int(math.Floor(2 * g.ThetaMin / g.TcMin))
+}
+
 // MaxConsecutive returns M[k] of Eq. (2): the upper bound on the number
 // of satellites that can consecutively capture a signal in the
 // underlapping case (I[k] = 0), given alert deadline τ:

@@ -1,0 +1,6 @@
+//go:build !race
+
+package satqos_test
+
+// raceEnabled reports whether the suite runs under the race detector.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package satqos_test
+
+// raceEnabled reports whether the suite runs under the race detector.
+// sync.Pool intentionally drops items at random in race mode to widen
+// interleavings, so warm-pool allocation budgets do not hold there.
+const raceEnabled = true
