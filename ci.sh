@@ -76,6 +76,47 @@ awk -v budget="$alloc_budget" '
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR5.json BENCH_PR6.json
 
+# Pooled-shard allocation gate: a whole EvaluateParallel batch (4096
+# episodes = 4 shards) draws its runners from the shared pool and
+# costs tens of allocations, not the ~1000 the per-shard construction
+# used to. The budget leaves headroom for sync.Pool/GC variance while
+# still catching any return of per-shard stack rebuilding.
+go test -run '^$' -bench '^BenchmarkEvaluateParallel$' \
+    -benchmem -benchtime 50x . |
+    tee "$tmpdir/bench_pool.txt"
+awk '
+    /^BenchmarkEvaluateParallel\// {
+        seen++
+        allocs = $(NF - 1) + 0
+        if (allocs > 160) {
+            print $1, "allocs/op", allocs, "exceeds budget 160"; bad = 1
+        }
+    }
+    END { if (seen < 3) { print "expected 3 pooled-shard benchmarks, saw", seen + 0; bad = 1 }; exit bad }
+' "$tmpdir/bench_pool.txt"
+
+# Span-trace gates. First determinism: the same lossy workload traced
+# at 1 and 8 workers must produce byte-identical line-delimited trace
+# exports (the retained set is a pure function of episode ordinals and
+# outcomes), and tracing must not perturb the simulation — the traced
+# and untraced snapshots of the same run must be diff-identical modulo
+# the wall-clock families. Then the exporter contract: the Chrome
+# trace-event JSON must satisfy the viewer invariants metricscheck
+# -chrome enforces.
+go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 1 \
+    -workers 1 -metrics "$tmpdir/tr1.json" -trace "$tmpdir/tr1.trace" \
+    -trace-chrome "$tmpdir/tr1.chrome.json"
+go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 1 \
+    -workers 8 -metrics "$tmpdir/tr8.json" -trace "$tmpdir/tr8.trace"
+go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 1 \
+    -workers 8 -metrics "$tmpdir/untraced8.json"
+cmp "$tmpdir/tr1.trace" "$tmpdir/tr8.trace"
+grep -q "^trace " "$tmpdir/tr1.trace" # the gate is vacuous if nothing was retained
+go run ./cmd/metricscheck -in "$tmpdir/tr1.json" -diff "$tmpdir/tr8.json" oaq crosslink
+go run ./cmd/metricscheck -in "$tmpdir/tr8.json" -diff "$tmpdir/untraced8.json" oaq
+go run ./cmd/metricscheck -chrome "$tmpdir/tr1.chrome.json"
+go run ./cmd/metricscheck -chrome internal/oaq/testdata/anomaly_chrome.golden
+
 # Fuzz smoke tier: a short live fuzz of every target, beyond the
 # committed seed corpora (which plain `go test` already replays).
 go test -run='^$' -fuzz='^FuzzScenarioJSON$' -fuzztime=5s ./internal/fault
@@ -84,10 +125,10 @@ go test -run='^$' -fuzz='^FuzzConditionalPMF$' -fuzztime=5s ./internal/qos
 go test -run='^$' -fuzz='^FuzzGeometry$' -fuzztime=5s ./internal/qos
 go test -run='^$' -fuzz='^FuzzSnapshotDiff$' -fuzztime=5s ./cmd/metricscheck
 
-# Coverage floor on the validation harness and its statistical
-# machinery: these packages gate everything else, so their own
-# statement coverage must not rot.
-go test -cover ./internal/validate ./internal/stats |
+# Coverage floor on the validation harness, its statistical machinery,
+# and the observability layer (metrics + span tracing): these packages
+# gate everything else, so their own statement coverage must not rot.
+go test -cover ./internal/validate ./internal/stats ./internal/obs ./internal/obs/trace |
     awk '/coverage:/ {
              gsub(/%/, "", $5)
              if ($5 + 0 < 75) { print "coverage below 75%:", $0; bad = 1 }

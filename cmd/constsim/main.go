@@ -27,6 +27,7 @@ import (
 	"satqos/internal/membership"
 	"satqos/internal/oaq"
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -61,7 +62,14 @@ func run(args []string, w io.Writer) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker-pool size for the protocol Monte-Carlo (0 = GOMAXPROCS; results are identical at any setting)")
 	metrics := fs.String("metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while running (e.g. localhost:6060)")
+	var traceCLI trace.CLI
+	traceCLI.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tracing, err := traceCLI.Config(fs)
+	if err != nil {
 		return err
 	}
 	presetCfg, err := constellation.PresetConfig(*preset)
@@ -70,6 +78,13 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *pprofAddr != "" {
+		stop, err := obs.ServeDebug(*pprofAddr, obs.Default(), w)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	if *metrics != "" {
 		defer func() {
 			if err == nil {
@@ -77,6 +92,11 @@ func run(args []string, w io.Writer) (err error) {
 			}
 		}()
 	}
+	defer func() {
+		if err == nil {
+			err = traceCLI.Export(tracing, w)
+		}
+	}()
 
 	switch *mode {
 	case "protocol":
@@ -121,6 +141,7 @@ func run(args []string, w io.Writer) (err error) {
 		if *metrics != "" {
 			p.Metrics = obs.Default()
 		}
+		p.Tracing = tracing
 		ev, err := oaq.EvaluateParallel(p, *episodes, *seed, *workers)
 		if err != nil {
 			return err

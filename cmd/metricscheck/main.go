@@ -14,6 +14,12 @@
 // histograms and parallel_workers_max) are exempt, so the comparison is
 // CI's determinism gate: two runs of the same workload at different
 // worker counts must produce byte-identical simulation metrics.
+//
+// With -chrome file.json it instead validates a Chrome trace-event
+// export (the CLIs' -trace-chrome flag): the file must parse, and every
+// event must carry a name, a known phase, finite timestamps, and a
+// non-negative duration where the phase requires one. It is the CI gate
+// for the span-trace exporter.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"strings"
@@ -54,12 +61,16 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 	in := fs.String("in", "", "read the snapshot from this file instead of stdin")
 	diff := fs.String("diff", "", "compare against this second snapshot file and fail on any differing metric")
 	ignore := fs.String("ignore", defaultIgnore, "regexp of metric names exempt from -diff (wall-clock families by default)")
+	chrome := fs.String("chrome", "", "validate this Chrome trace-event JSON export instead of a metrics snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	families := fs.Args()
+	if *chrome != "" {
+		return checkChrome(*chrome, w)
+	}
 	if len(families) == 0 && *diff == "" {
-		return fmt.Errorf("nothing to check (usage: metricscheck [-in file] [-diff file] family...)")
+		return fmt.Errorf("nothing to check (usage: metricscheck [-in file] [-diff file] [-chrome file] family...)")
 	}
 
 	r := stdin
@@ -135,6 +146,72 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintf(w, "%s: %d metrics\n", fam, counts[fam])
 	}
 	fmt.Fprintf(w, "ok: %d metrics, all %d families present\n", len(snap.Metrics), len(families))
+	return nil
+}
+
+// checkChrome validates a Chrome trace-event export: the format the
+// -trace-chrome flag writes and chrome://tracing / Perfetto load. The
+// checks mirror what the viewers actually require — a nonempty name, a
+// known phase, finite non-negative timestamps, a duration on complete
+// events — so a malformed export fails CI instead of silently rendering
+// as an empty timeline.
+func checkChrome(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			ID   *int     `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("%s: trace does not parse: %w", path, err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	phases := make(map[string]int)
+	for i, ev := range file.TraceEvents {
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("%s: event %d (%q): %s", path, i, ev.Name, fmt.Sprintf(format, args...))
+		}
+		if ev.Name == "" {
+			return at("empty name")
+		}
+		switch ev.Ph {
+		case "X", "i", "M", "s", "f":
+		default:
+			return at("unknown phase %q", ev.Ph)
+		}
+		if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) || ev.Ts < 0 {
+			return at("bad timestamp %g", ev.Ts)
+		}
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				return at("complete event without dur")
+			}
+			if math.IsNaN(*ev.Dur) || math.IsInf(*ev.Dur, 0) || *ev.Dur < 0 {
+				return at("bad duration %g", *ev.Dur)
+			}
+		}
+		if (ev.Ph == "s" || ev.Ph == "f") && ev.ID == nil {
+			return at("flow event without id")
+		}
+		phases[ev.Ph]++
+	}
+	if phases["s"] != phases["f"] {
+		return fmt.Errorf("%s: unbalanced flow events: %d starts, %d finishes", path, phases["s"], phases["f"])
+	}
+	fmt.Fprintf(w, "chrome trace ok: %d events (%d spans, %d instants, %d metadata, %d flow pairs)\n",
+		len(file.TraceEvents), phases["X"], phases["i"], phases["M"], phases["s"])
 	return nil
 }
 

@@ -155,3 +155,54 @@ func TestLastJSONObjectPicksLast(t *testing.T) {
 		t.Errorf("did not pick the last object:\n%s", obj)
 	}
 }
+
+func TestCheckChrome(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	valid := `{"traceEvents":[
+  {"name":"process_name","ph":"M","pid":1,"args":{"name":"ep-0 [retries]"}},
+  {"name":"episode","ph":"X","pid":1,"tid":0,"ts":0,"dur":510000000},
+  {"name":"term:retries","ph":"i","pid":1,"tid":0,"ts":510000000,"s":"t"},
+  {"name":"alert","ph":"s","pid":1,"tid":4,"ts":100,"id":1},
+  {"name":"alert","ph":"f","pid":1,"tid":1,"ts":200,"id":1,"bp":"e"}
+],"displayTimeUnit":"ms"}`
+	var b strings.Builder
+	if err := run([]string{"-chrome", write("ok.json", valid)}, strings.NewReader(""), &b); err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+	if !strings.Contains(b.String(), "chrome trace ok: 5 events (1 spans, 1 instants, 1 metadata, 1 flow pairs)") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+
+	// A real exporter run must pass too (the CI gate in ci.sh).
+	// Checked here end to end against the trace package so the two
+	// sides of the contract cannot drift silently.
+	bad := []struct {
+		name, content, wantErr string
+	}{
+		{"empty.json", `{"traceEvents":[]}`, "no trace events"},
+		{"notjson.json", `{"traceEvents":`, "does not parse"},
+		{"noname.json", `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1}]}`, "empty name"},
+		{"badphase.json", `{"traceEvents":[{"name":"x","ph":"Q","ts":0}]}`, "unknown phase"},
+		{"negts.json", `{"traceEvents":[{"name":"x","ph":"i","ts":-1}]}`, "bad timestamp"},
+		{"nodur.json", `{"traceEvents":[{"name":"x","ph":"X","ts":0}]}`, "without dur"},
+		{"negdur.json", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-2}]}`, "bad duration"},
+		{"noid.json", `{"traceEvents":[{"name":"x","ph":"s","ts":0}]}`, "without id"},
+		{"unbalanced.json", `{"traceEvents":[{"name":"x","ph":"s","ts":0,"id":1}]}`, "unbalanced flow"},
+	}
+	for _, tc := range bad {
+		err := run([]string{"-chrome", write(tc.name, tc.content)}, strings.NewReader(""), &b)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := run([]string{"-chrome", filepath.Join(dir, "missing.json")}, strings.NewReader(""), &b); err == nil {
+		t.Error("missing file accepted")
+	}
+}

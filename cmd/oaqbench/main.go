@@ -24,9 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -37,6 +34,7 @@ import (
 	"satqos/internal/mission"
 	"satqos/internal/numeric"
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/plot"
 	"satqos/internal/qos"
 )
@@ -62,6 +60,8 @@ type options struct {
 	pprof    string
 	retries  int
 	faults   *fault.Scenario
+	trace    trace.CLI
+	tracing  *trace.Config
 }
 
 // writeSVG renders a sweep as an SVG chart into the -svg directory.
@@ -122,9 +122,15 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.pprof, "pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while running (e.g. localhost:6060)")
 	fs.IntVar(&opt.retries, "retries", 2, "bounded retransmissions per coordination request in the degraded-mode experiments (0 disables the hardening)")
 	faultsPath := fs.String("faults", "", "fault-scenario JSON file applied to the degraded-mode and mission experiments")
+	opt.trace.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracing, err := opt.trace.Config(fs)
+	if err != nil {
+		return err
+	}
+	opt.tracing = tracing
 	if *faultsPath != "" {
 		s, err := fault.Load(*faultsPath)
 		if err != nil {
@@ -134,11 +140,12 @@ func run(args []string, w io.Writer) error {
 	}
 	opt.seed = *seed
 	experiment.Workers = opt.workers
+	experiment.Tracing = opt.tracing
 	if opt.metrics != "" || opt.pprof != "" {
 		experiment.Metrics = obs.Default()
 	}
 	if opt.pprof != "" {
-		stop, err := serveDebug(opt.pprof, w)
+		stop, err := obs.ServeDebug(opt.pprof, obs.Default(), w)
 		if err != nil {
 			return err
 		}
@@ -171,35 +178,13 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 	}
+	if err := opt.trace.Export(opt.tracing, w); err != nil {
+		return err
+	}
 	if opt.metrics != "" {
 		return obs.Default().DumpJSON(opt.metrics, w)
 	}
 	return nil
-}
-
-// serveDebug starts the runtime-introspection HTTP server: the
-// net/http/pprof profiling endpoints plus the registry's Prometheus
-// exposition under /metrics. The bound address is printed so callers
-// (and tests) can use ":0".
-func serveDebug(addr string, w io.Writer) (stop func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("pprof listen: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		obs.Default().WritePrometheus(rw)
-	})
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	fmt.Fprintf(w, "pprof and /metrics serving on http://%s\n", ln.Addr())
-	return srv.Close, nil
 }
 
 func runOne(id string, opt options, w io.Writer) error {
@@ -402,6 +387,7 @@ func runMission(opt options, w io.Writer) error {
 		cfg.Workers = opt.workers
 		cfg.Metrics = experiment.Metrics
 		cfg.Faults = opt.faults
+		cfg.Trace = opt.tracing.WithScope("mission-" + scheme.String())
 		rep, err := mission.Run(cfg, 24*60)
 		if err != nil {
 			return err

@@ -2,8 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -130,43 +128,6 @@ func TestRunMetricsDump(t *testing.T) {
 		if !found {
 			t.Errorf("snapshot missing %s* family", family)
 		}
-	}
-}
-
-func TestServeDebugEndpoints(t *testing.T) {
-	var b strings.Builder
-	stop, err := serveDebug("127.0.0.1:0", &b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer stop()
-	out := b.String()
-	i := strings.Index(out, "http://")
-	if i < 0 {
-		t.Fatalf("bound address not printed: %q", out)
-	}
-	base := strings.TrimSpace(out[i:])
-
-	get := func(path string) string {
-		resp, err := http.Get(base + path)
-		if err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-		}
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return string(body)
-	}
-	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
-		t.Errorf("pprof index unexpected:\n%.200s", body)
-	}
-	if body := get("/metrics"); !strings.Contains(body, "# TYPE") {
-		t.Errorf("/metrics not in Prometheus exposition format:\n%.200s", body)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"satqos/internal/des"
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/stats"
 )
 
@@ -114,7 +115,24 @@ type Network struct {
 	pooling    bool
 	free       []*delivery
 	kindLabels map[string]string
+	// tracer, when non-nil, records message-lifetime spans and drop
+	// events (see SetTracer).
+	tracer *trace.Recorder
 }
+
+// Drop cause codes recorded as the Arg of KindDrop trace events.
+const (
+	// DropSuppressed: the sender was fail-silent; the message was never
+	// emitted.
+	DropSuppressed = 1
+	// DropFailSilent: the receiver was fail-silent at send time.
+	DropFailSilent = 2
+	// DropLoss: the link-loss process consumed the message.
+	DropLoss = 3
+	// DropLateFailSilent: the receiver became fail-silent (or lost its
+	// handler) while the message was in flight.
+	DropLateFailSilent = 4
+)
 
 // delivery is one in-flight message envelope: the unit the message
 // freelist recycles. Its epoch pins the Network generation the message
@@ -123,6 +141,10 @@ type delivery struct {
 	n     *Network
 	msg   Message
 	epoch uint64
+	// span is the in-flight KindMessage span (zero when tracing is off);
+	// the trace epoch fence makes a stale ID a no-op, mirroring the
+	// delivery epoch fence above.
+	span trace.SpanID
 }
 
 // deliverEvent is the package-level dispatch target for in-flight
@@ -137,6 +159,13 @@ func deliverEvent(now float64, arg any) {
 // histogram disables the observation. The histogram outlives Reset —
 // it spans a shard of episodes, not one episode.
 func (n *Network) SetDelayHistogram(h *obs.LocalHistogram) { n.delayHist = h }
+
+// SetTracer attaches (or with nil, detaches) a span recorder: each
+// emitted message gets a KindMessage span covering its flight time
+// (linked to the dispatch span that delivers it), and suppressed or
+// dropped messages get KindDrop events carrying a Drop* cause code. The
+// tracer survives Reset, like the delay histogram.
+func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
 
 // Config parameterizes a Network.
 type Config struct {
@@ -305,15 +334,24 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	}
 	if n.FailSilent(from) {
 		n.stats.SuppressedFailSilent++
+		if n.tracer != nil {
+			n.tracer.Event(trace.KindDrop, n.kindLabel(kind), int32(from), n.sim.Now(), DropSuppressed)
+		}
 		return nil
 	}
 	n.stats.Sent++
 	if n.FailSilent(to) {
 		n.stats.DroppedFailSilent++
+		if n.tracer != nil {
+			n.tracer.Event(trace.KindDrop, n.kindLabel(kind), int32(from), n.sim.Now(), DropFailSilent)
+		}
 		return nil
 	}
 	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
 		n.stats.DroppedLoss++
+		if n.tracer != nil {
+			n.tracer.Event(trace.KindDrop, n.kindLabel(kind), int32(from), n.sim.Now(), DropLoss)
+		}
 		return nil
 	}
 	delay := n.delta * (1 - n.rng.Float64()) // in (0, δ]
@@ -329,6 +367,10 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	d.n = n
 	d.msg = Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sim.Now()}
 	d.epoch = n.epoch
+	d.span = 0
+	if n.tracer != nil {
+		d.span = n.tracer.Async(trace.KindMessage, n.kindLabel(kind), int32(from), n.sim.Now())
+	}
 	n.sim.ScheduleCall(delay, n.kindLabel(kind), deliverEvent, d)
 	return nil
 }
@@ -352,9 +394,10 @@ func (n *Network) kindLabel(kind string) string {
 // still returned to the freelist (the envelope belongs to the network,
 // not the epoch).
 func (n *Network) deliver(now float64, d *delivery) {
-	msg, live := d.msg, d.epoch == n.epoch
+	msg, live, span := d.msg, d.epoch == n.epoch, d.span
 	if n.pooling {
 		d.msg = Message{} // drop the payload reference before recycling
+		d.span = 0
 		n.free = append(n.free, d)
 	}
 	if !live {
@@ -362,17 +405,22 @@ func (n *Network) deliver(now float64, d *delivery) {
 	}
 	n.stats.InFlight--
 	// Fail-silence may have begun after the send.
-	if n.FailSilent(msg.To) {
+	if n.FailSilent(msg.To) || n.handlerOf(msg.To) == nil {
 		n.stats.DroppedFailSilent++
-		return
-	}
-	h := n.handlerOf(msg.To)
-	if h == nil {
-		n.stats.DroppedFailSilent++
+		if n.tracer != nil {
+			n.tracer.EndArg(span, now, DropLateFailSilent)
+		}
 		return
 	}
 	n.stats.Delivered++
 	n.delayHist.Observe(now - msg.SentAt)
+	if n.tracer != nil {
+		// Tie the message span to the dispatch span delivering it, then
+		// close it at the arrival instant.
+		n.tracer.Link(span)
+		n.tracer.End(span, now)
+	}
+	h := n.handlerOf(msg.To)
 	h(now, msg)
 }
 

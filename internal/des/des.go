@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"satqos/internal/obs/trace"
 )
 
 // Handler is invoked when an event fires. now is the simulation time of
@@ -59,6 +61,10 @@ type Simulation struct {
 	// reuse enables the fired-event freelist (see EnableEventReuse).
 	reuse bool
 	free  []*Event
+	// tracer, when non-nil, records a dispatch span around every fired
+	// event (see SetTracer). The kernel pays one nil check when tracing
+	// is off.
+	tracer *trace.Recorder
 	// Kernel counters (see Stats); plain fields, since the simulation is
 	// single-threaded by contract.
 	freeHits   uint64
@@ -123,6 +129,23 @@ func (s *Simulation) Reset() {
 // package membership does not (its Ticker stop function cancels a
 // possibly-fired event).
 func (s *Simulation) EnableEventReuse() { s.reuse = true }
+
+// ClearEventFreelist discards the recycled-event pool (keeping its
+// backing array). The sharded evaluators call it when they draw a
+// pooled runner for a fresh shard: the freelist hit/miss counters are
+// published metrics, and they must be a function of the shard alone —
+// not of how warm a pool the shard happened to inherit — for snapshots
+// to stay bit-identical at any worker count.
+func (s *Simulation) ClearEventFreelist() {
+	clear(s.free)
+	s.free = s.free[:0]
+}
+
+// SetTracer attaches (or with nil, detaches) a span recorder: every
+// dispatched event is wrapped in a KindDispatch span labeled with the
+// event's scheduling label, so protocol spans created inside the handler
+// nest under it. The tracer survives Reset, mirroring the freelist.
+func (s *Simulation) SetTracer(r *trace.Recorder) { s.tracer = r }
 
 // Now returns the current simulation time.
 func (s *Simulation) Now() float64 { return s.now }
@@ -231,7 +254,15 @@ func (s *Simulation) Step() bool {
 		}
 		s.now = e.time
 		s.fired++
-		if e.handler != nil {
+		if s.tracer != nil {
+			sp := s.tracer.Begin(trace.KindDispatch, e.label, trace.SatKernel, s.now)
+			if e.handler != nil {
+				e.handler(s.now)
+			} else {
+				e.argFn(s.now, e.arg)
+			}
+			s.tracer.End(sp, s.now)
+		} else if e.handler != nil {
 			e.handler(s.now)
 		} else {
 			e.argFn(s.now, e.arg)

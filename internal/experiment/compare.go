@@ -50,6 +50,7 @@ func SimVsAnalytic(capacities []int, episodes int, seed uint64) (*Table, float64
 		// sweep registry; each cell publishes its deterministic totals
 		// once.
 		p.Metrics = Metrics
+		p.Tracing = Tracing.WithScope(fmt.Sprintf("compare/k%d-%v", c.k, c.scheme))
 		ev, err := oaq.EvaluateParallel(p, episodes, seed, 1)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: simulate k=%d %v: %w", c.k, c.scheme, err)

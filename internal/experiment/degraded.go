@@ -57,6 +57,7 @@ func DegradedLossSweep(lossRates []float64, scenario *fault.Scenario, k, retries
 		p.RequestRetries = withRetries
 		p.Faults = scenario
 		p.Metrics = Metrics
+		p.Tracing = Tracing.WithScope(fmt.Sprintf("degraded-loss/p%g-r%d", loss, withRetries))
 		return oaq.EvaluateParallel(p, episodes, seed, 1)
 	}
 	cols, err := timedMapSlice(len(lossRates), func(i int) ([]float64, error) {
@@ -143,6 +144,7 @@ func DegradedFailSilentSweep(counts []int, k, retries, episodes int, seed uint64
 			p.Faults = s
 		}
 		p.Metrics = Metrics
+		p.Tracing = Tracing.WithScope(fmt.Sprintf("degraded-failsilent/n%d-r%d", n, withRetries))
 		return oaq.EvaluateParallel(p, episodes, seed, 1)
 	}
 	cols, err := timedMapSlice(len(counts), func(i int) ([]float64, error) {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/parallel"
 )
 
@@ -14,6 +15,15 @@ import (
 // here rather than in the per-evaluation registries whose snapshots
 // are bit-identical at any worker count.
 var Metrics *obs.Registry
+
+// Tracing, when non-nil, is handed to the simulation experiments as
+// their oaq.Params.Tracing configuration; each sweep cell derives a
+// scoped copy (Config.WithScope) so retained traces name the cell that
+// produced them. Like Metrics it is set once at startup by the CLIs and
+// never mutated during a running sweep. Trace retention is a pure
+// function of episode ordinals and outcomes, so enabling it does not
+// perturb the deterministic sweep results.
+var Tracing *trace.Config
 
 // timedMapSlice is parallel.MapSlice with per-point wall-clock
 // instrumentation: every sweep point (λ value, τ value, table cell)

@@ -24,6 +24,7 @@ import (
 	"satqos/internal/fault"
 	"satqos/internal/geoloc"
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/orbit"
 	"satqos/internal/parallel"
 	"satqos/internal/qos"
@@ -66,6 +67,16 @@ type Config struct {
 	// aggregation, so they are worker-count independent) and the run's
 	// wall-clock duration.
 	Metrics *obs.Registry
+	// Trace, when non-nil, enables span tracing of the episode batch:
+	// each signal episode records coarse phase spans (detection scan,
+	// initial fix, opportunity scan) under a root span, keyed by the
+	// signal's workload index. Retention (head sampling plus the anomaly
+	// policy) is a pure function of that ordinal and the episode outcome,
+	// so the collected trace set is bit-identical at any Workers setting.
+	// The flight-recorder latency bound applies to the detection delay —
+	// the mission has no crosslink fabric, so there is no delivery
+	// latency to bound.
+	Trace *trace.Config
 	// Faults, when non-nil, applies the scenario's fail-silent windows to
 	// the geometric scan: a silenced satellite neither detects the signal
 	// nor contributes an opportunity pass. Scenario time zero is the
@@ -121,6 +132,11 @@ func (c Config) Validate() error {
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Trace != nil {
+		if err := c.Trace.Validate(); err != nil {
 			return err
 		}
 	}
@@ -210,7 +226,7 @@ func run(cfg Config, horizonMin float64, brute bool) (*Report, error) {
 	// is only read (coverage queries), never mutated, during the batch.
 	m := &runner{cfg: cfg, cons: cons, brute: brute}
 	outcomes, err := parallel.MapSlice(cfg.Workers, len(signals), func(i int) (EpisodeOutcome, error) {
-		return m.episode(signals[i], stats.NewRNG(cfg.Seed, uint64(i)+1)), nil
+		return m.episode(uint64(i), signals[i], stats.NewRNG(cfg.Seed, uint64(i)+1)), nil
 	})
 	if err != nil {
 		return nil, err
@@ -296,6 +312,9 @@ type episodeScratch struct {
 	initial  []satKey
 	fresh    []satKey
 	ordinals map[satKey]int
+	// rec is the pooled span recorder (nil until the first traced
+	// episode on this scratch; see epTrace).
+	rec *trace.Recorder
 }
 
 // coveringAt lists the satellites covering the target at time t, via the
@@ -334,7 +353,9 @@ func (r *runner) orbitOf(k satKey) orbit.CircularOrbit {
 
 // episode runs one signal through detection, opportunity scheduling, and
 // estimation, drawing all of its randomness from the given substream.
-func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
+// ord is the signal's index in the generated workload; it keys trace
+// retention and never feeds back into the outcome.
+func (r *runner) episode(ord uint64, sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	out := EpisodeOutcome{
 		Signal:           sig,
 		Level:            qos.LevelMiss,
@@ -348,6 +369,7 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	}
 	defer r.scratch.Put(sc)
 	clear(sc.ordinals)
+	tr := r.startTrace(sc, ord, sig.Start)
 
 	// covering applies the scripted fault scenario on top of the raw
 	// geometry: ordinals are assigned in first-coverage order within this
@@ -376,6 +398,7 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	// Detection: first instant a footprint covers the active signal. The
 	// covering set is copied into its own buffer: cov is overwritten by
 	// every later scan step, while initial must survive the episode.
+	scanSpan := tr.begin(trace.KindAwait, "detect-scan", sig.Start)
 	t0 := math.NaN()
 	var initial []satKey
 	for t := sig.Start; t < sig.End(); t += coverScanStep {
@@ -387,8 +410,12 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 		}
 	}
 	if math.IsNaN(t0) {
+		tr.end(scanSpan, sig.End(), 0)
+		tr.event("target-escaped", sig.End(), 0)
+		tr.finish(&out, sig.End())
 		return out // escaped surveillance
 	}
+	tr.end(scanSpan, t0, float64(len(initial)))
 	out.Detected = true
 	out.DetectionDelay = t0 - sig.Start
 	deadline := t0 + r.cfg.TauMin
@@ -402,16 +429,21 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	if obsEnd <= t0 {
 		obsEnd = t0 + coverScanStep
 	}
+	fixSpan := tr.begin(trace.KindCompute, "initial-fix", t0)
 	meas := r.observe(sensor, initial, sig.Position, t0, obsEnd, rng)
 	est := geoloc.Estimator{}
 	first, err := est.Solve(meas, guess, r.cfg.CarrierHz, nil)
 	if err != nil {
 		// The preliminary fix failed to converge; the alert still goes
 		// out (level 1) but carries no usable estimate.
+		tr.end(fixSpan, obsEnd, float64(len(meas)))
+		tr.event("fix-diverged", obsEnd, 0)
 		out.Level = qos.LevelSingle
 		out.PassesFused = len(initial)
+		tr.finish(&out, obsEnd)
 		return out
 	}
+	tr.end(fixSpan, obsEnd, float64(len(meas)))
 	record := func(level qos.Level, e geoloc.Estimate, passes int) {
 		out.Level = level
 		out.PassesFused = passes
@@ -422,16 +454,19 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 	if len(initial) >= 2 {
 		// Simultaneous multiple coverage at detection.
 		record(qos.LevelSimultaneousDual, first, len(initial))
+		tr.finish(&out, obsEnd)
 		return out
 	}
 	if r.cfg.Scheme == qos.SchemeBAQ {
 		record(qos.LevelSingle, first, 1)
+		tr.finish(&out, obsEnd)
 		return out
 	}
 
 	// OAQ: scan the window of opportunity for the first moment a new
 	// satellite covers the still-active target before the deadline.
 	horizon := math.Min(deadline, sig.End())
+	oppSpan := tr.begin(trace.KindAwait, "opportunity-scan", t0)
 	for t := t0 + coverScanStep; t <= horizon; t += coverScanStep {
 		cov := covering(t)
 		sc.fresh = appendExcluding(sc.fresh[:0], cov, initial[0])
@@ -439,10 +474,15 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 		if len(fresh) == 0 {
 			continue
 		}
+		tr.end(oppSpan, t, float64(len(fresh)))
+		oppSpan = 0 // ended; the post-loop close must not end it again
 		obsEnd := math.Min(math.Min(sig.End(), deadline), t+2)
+		refineSpan := tr.begin(trace.KindCompute, "refined-fix", t)
 		meas2 := r.observe(sensor, fresh, sig.Position, t, obsEnd, rng)
 		refined, err := est.Solve(meas2, first.Position, first.FreqHz, &first)
+		tr.end(refineSpan, obsEnd, float64(len(meas2)))
 		if err != nil {
+			tr.event("fix-diverged", obsEnd, 0)
 			break
 		}
 		if len(cov) >= 2 {
@@ -450,10 +490,13 @@ func (r *runner) episode(sig signal.Signal, rng *stats.RNG) EpisodeOutcome {
 		} else {
 			record(qos.LevelSequentialDual, refined, 1+len(fresh))
 		}
+		tr.finish(&out, obsEnd)
 		return out
 	}
 	// No opportunity materialized: deliver the preliminary result.
+	tr.end(oppSpan, horizon, 0)
 	record(qos.LevelSingle, first, 1)
+	tr.finish(&out, horizon)
 	return out
 }
 

@@ -1,0 +1,89 @@
+package mission
+
+import (
+	"satqos/internal/obs/trace"
+	"satqos/internal/qos"
+)
+
+// levelTraceLabels memoizes the termination annotation per QoS level so
+// traced episodes never concatenate strings on the episode path.
+var levelTraceLabels = func() [qos.NumLevels]string {
+	var a [qos.NumLevels]string
+	for l := range a {
+		a[l] = "level:" + qos.Level(l).String()
+	}
+	return a
+}()
+
+// epTrace is the per-episode tracing handle: nil rec disables every
+// hook. The recorder itself lives in the pooled episodeScratch, so a
+// steady-state traced run builds no recorders; retained traces are
+// flushed into the shared Collector at the end of every episode, before
+// the scratch returns to the pool, so a recorder never carries state
+// between episodes (or workers).
+type epTrace struct {
+	rec  *trace.Recorder
+	root trace.SpanID
+}
+
+// startTrace opens the episode's root span. The ordinal is the signal's
+// index in the generated workload — a pure function of the seed and
+// horizon, never of the worker count — so head sampling and trace IDs
+// are deterministic.
+func (r *runner) startTrace(sc *episodeScratch, ord uint64, startMin float64) epTrace {
+	if r.cfg.Trace == nil {
+		return epTrace{}
+	}
+	if sc.rec == nil {
+		sc.rec = trace.NewRecorder(r.cfg.Trace)
+	}
+	sc.rec.StartEpisode(ord)
+	return epTrace{
+		rec:  sc.rec,
+		root: sc.rec.Begin(trace.KindEpisode, "signal", trace.SatKernel, startMin),
+	}
+}
+
+// begin, end, and event are the nil-safe hook forms used inside the
+// episode body: with tracing off they cost one nil check each. Every
+// mission span is attributed to the kernel lane — the scan iterates the
+// whole fleet, so no single satellite owns a phase.
+func (t epTrace) begin(kind trace.Kind, label string, at float64) trace.SpanID {
+	if t.rec == nil {
+		return 0
+	}
+	return t.rec.Begin(kind, label, trace.SatKernel, at)
+}
+
+func (t epTrace) end(id trace.SpanID, at, arg float64) {
+	if t.rec == nil {
+		return
+	}
+	t.rec.EndArg(id, at, arg)
+}
+
+func (t epTrace) event(label string, at, arg float64) {
+	if t.rec == nil {
+		return
+	}
+	t.rec.Event(trace.KindEvent, label, trace.SatKernel, at, arg)
+}
+
+// finish annotates the episode with its achieved level, closes the root
+// span, and runs the retention decision. Detection delay stands in for
+// delivery latency in the flight-recorder policy: the mission has no
+// crosslink fabric, so "slow" here means the constellation took long to
+// first cover the emitter.
+func (t epTrace) finish(out *EpisodeOutcome, endAt float64) {
+	if t.rec == nil {
+		return
+	}
+	t.rec.Event(trace.KindTermination, levelTraceLabels[out.Level], trace.SatKernel, endAt, float64(out.PassesFused))
+	t.rec.EndArg(t.root, endAt, float64(out.Level))
+	t.rec.FinishEpisode(trace.Outcome{
+		Detected:   out.Detected,
+		Delivered:  out.Level > qos.LevelMiss,
+		LatencyMin: out.DetectionDelay,
+	})
+	t.rec.Flush()
+}

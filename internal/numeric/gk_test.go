@@ -21,6 +21,8 @@ func TestIntegrateFastCrossCheck(t *testing.T) {
 		{"reversed", func(x float64) float64 { return math.Cos(x) }, 3, 0},
 		{"peaked", func(x float64) float64 { return 1 / (1 + 2500*x*x) }, -1, 1},
 		{"kink", math.Abs, -0.7, 1.3},
+		{"oscillatory", func(x float64) float64 { return math.Sin(5 * x) }, 0, 2},
+		{"runge", func(x float64) float64 { return 1 / (1 + 25*x*x) }, -1, 1},
 	}
 	const tol = 1e-10
 	for _, tc := range cases {
@@ -41,9 +43,10 @@ func TestIntegrateFastCrossCheck(t *testing.T) {
 }
 
 // TestIntegrateFastEvalCounts pins the evaluation budget of the fast
-// path: a smooth integrand costs exactly the 15 Kronrod nodes, and a
-// hard one falls back to the adaptive rule (more than 15 calls) while
-// still landing within tolerance.
+// path: a smooth integrand costs exactly the 15 Kronrod nodes, a
+// mildly oscillatory one exactly the 15 + 31 of the two fixed stages,
+// and a hard one falls back to the adaptive rule (more than 46 calls)
+// while still landing within tolerance.
 func TestIntegrateFastEvalCounts(t *testing.T) {
 	count := 0
 	smooth := func(x float64) float64 { count++; return math.Exp(-x) }
@@ -58,14 +61,30 @@ func TestIntegrateFastEvalCounts(t *testing.T) {
 		t.Errorf("smooth integral = %.15g, want %.15g", v, want)
 	}
 
+	// sin(5x) is just past the 15-point rule's resolution on a width-2
+	// interval but well within the 31-point rule's: the second stage
+	// resolves it without the adaptive fallback.
+	count = 0
+	oscillatory := func(x float64) float64 { count++; return math.Sin(5 * x) }
+	v, err = IntegrateFast(oscillatory, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 15+31 {
+		t.Errorf("oscillatory integrand cost %d evaluations, want exactly 46 (both fixed panels)", count)
+	}
+	if want := (1 - math.Cos(10)) / 5; math.Abs(v-want) > 1e-12 {
+		t.Errorf("oscillatory integral = %.15g, want %.15g", v, want)
+	}
+
 	count = 0
 	peaked := func(x float64) float64 { count++; return 1 / (1 + 2500*x*x) }
 	v, err = IntegrateFast(peaked, -1, 1, 1e-10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if count <= 15 {
-		t.Errorf("peaked integrand cost %d evaluations; expected fallback past the fixed panel", count)
+	if count <= 15+31 {
+		t.Errorf("peaked integrand cost %d evaluations; expected fallback past both fixed panels", count)
 	}
 	want := 2.0 / 50 * math.Atan(50)
 	if math.Abs(v-want) > 1e-9 {
@@ -77,6 +96,34 @@ func TestIntegrateFastEvalCounts(t *testing.T) {
 	}
 	if v, err := IntegrateFast(smooth, 3, 3, 1e-10); err != nil || v != 0 {
 		t.Errorf("empty interval: got %g, %v", v, err)
+	}
+}
+
+// TestKronrod31Rule cross-checks the dqk31 constants: the Kronrod and
+// embedded Gauss weights each sum to the interval measure 2, and one
+// 31-point panel integrates a degree-20 monomial exactly (both rules
+// are exact far past that degree, so a single mistyped node or weight
+// shows up immediately).
+func TestKronrod31Rule(t *testing.T) {
+	sumK, sumG := wgk31[15], wg31[7]
+	for i := 0; i < 15; i++ {
+		sumK += 2 * wgk31[i]
+		if i&1 == 1 {
+			sumG += 2 * wg31[i/2]
+		}
+	}
+	if math.Abs(sumK-2) > 1e-14 {
+		t.Errorf("Kronrod-31 weights sum to %.16g, want 2", sumK)
+	}
+	if math.Abs(sumG-2) > 1e-14 {
+		t.Errorf("Gauss-15 weights sum to %.16g, want 2", sumG)
+	}
+	v, est := kronrodPanel(func(x float64) float64 { return math.Pow(x, 20) }, 0, 1, xgk31[:], wgk31[:], wg31[:])
+	if want := 2.0 / 21; math.Abs(v-want) > 1e-14 {
+		t.Errorf("31-point panel of x^20 = %.16g, want %.16g", v, want)
+	}
+	if est > 1e-13 {
+		t.Errorf("31-point panel error estimate %g for an exactly-integrated monomial", est)
 	}
 }
 

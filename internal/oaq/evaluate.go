@@ -3,7 +3,9 @@ package oaq
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"satqos/internal/obs/trace"
 	"satqos/internal/parallel"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
@@ -132,6 +134,7 @@ func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	detach := r.attachShardTracer(p.Tracing, 0)
 	m := maybeShardMetrics(p.Metrics)
 	r.setMetrics(m)
 	var t tally
@@ -139,6 +142,7 @@ func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 		res := r.run()
 		t.add(&res)
 	}
+	detach()
 	m.publish(p.Metrics)
 	return t.evaluation(episodes), nil
 }
@@ -162,17 +166,51 @@ func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evalua
 		t *tally
 		m *shardMetrics
 	}
+	evalStart := time.Now()
 	out, err := parallel.MonteCarlo(workers, episodes, 0,
 		func(s parallel.Shard) (shardOut, error) {
-			r, err := newEpisodeRunner(p, stats.NewRNG(seed, uint64(s.Index)))
-			if err != nil {
+			begin := time.Now()
+			rng := stats.NewRNG(seed, uint64(s.Index))
+			// Draw the runner from the shared pool (the same one RunEpisode
+			// recycles through) instead of rebuilding the whole simulation
+			// stack per shard — the construction was most of the ~241 allocs
+			// a shard batch used to pay.
+			r, _ := runnerPool.Get().(*episodeRunner)
+			if r == nil {
+				var err error
+				r, err = newEpisodeRunner(p, rng)
+				if err != nil {
+					return shardOut{}, err
+				}
+			} else if err := r.rebind(p, rng); err != nil {
+				runnerPool.Put(r)
 				return shardOut{}, err
 			}
+			// A pooled runner inherits a warm event freelist; the freelist
+			// hit/miss counters are published, so start the shard cold
+			// exactly as a fresh runner would.
+			r.ep.sim.ClearEventFreelist()
+			// The global episode ordinal (s.Start + i) keys head sampling
+			// and exemplars; it depends only on the budget partition, never
+			// on the worker count.
+			r.ep.ord = uint64(s.Start)
+			detach := r.attachShardTracer(p.Tracing, uint64(s.Start))
 			o := shardOut{t: &tally{}, m: maybeShardMetrics(p.Metrics)}
 			r.setMetrics(o.m)
 			for i := 0; i < s.Count; i++ {
 				res := r.run()
 				o.t.add(&res)
+			}
+			detach()
+			r.setMetrics(nil)
+			runnerPool.Put(r)
+			if p.Tracing != nil && p.Tracing.WallSpans {
+				p.Tracing.Collector.AddWall(trace.WallSpan{
+					Label:   p.Tracing.Scope,
+					Shard:   s.Index,
+					WaitSec: begin.Sub(evalStart).Seconds(),
+					BusySec: time.Since(begin).Seconds(),
+				})
 			}
 			return o, nil
 		},

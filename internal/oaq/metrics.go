@@ -73,7 +73,11 @@ func (m *shardMetrics) recordEpisode(e *episode, res *EpisodeResult) {
 	m.levels[res.Level]++
 	m.terminations[res.Termination]++
 	if res.Delivered {
-		m.alertLatency.Observe(res.DeliveryLatency)
+		// The exemplar links the latency distribution to the episode that
+		// produced its maximum — the trace ID a flight-recorder run
+		// retains. Recorded whenever metrics are on (independent of
+		// tracing), so traced and untraced snapshots stay byte-identical.
+		m.alertLatency.ObserveExemplar(res.DeliveryLatency, e.ord)
 	}
 
 	ds := e.sim.Stats()

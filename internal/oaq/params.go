@@ -39,6 +39,7 @@ import (
 
 	"satqos/internal/fault"
 	"satqos/internal/obs"
+	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -125,6 +126,15 @@ type Params struct {
 	// snapshot is itself identical for any worker count. Nil disables
 	// instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Tracing, when non-nil, enables span tracing: every episode is
+	// recorded into a preallocated ring buffer and retained per the
+	// config's head-sampling interval and anomaly (flight-recorder)
+	// policy. Like Metrics, the tracer never reads the RNG and never
+	// perturbs event order, so results are bit-identical with tracing on
+	// or off at any worker count; retained traces land in
+	// Tracing.Collector sorted by (scope, episode ordinal). Nil disables
+	// tracing at the cost of one pointer compare per hook.
+	Tracing *trace.Config
 }
 
 // DefaultErrorModel is the estimated-error curve used when none is
@@ -191,6 +201,11 @@ func (p Params) Validate() error {
 	}
 	if p.Faults != nil {
 		if err := p.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Tracing != nil {
+		if err := p.Tracing.Validate(); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"satqos/internal/crosslink"
 	"satqos/internal/des"
 	"satqos/internal/fault"
+	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
 )
@@ -106,6 +107,13 @@ type episode struct {
 	// is overwritten by the next coveringAt call).
 	covBuf []int
 	detCov []int
+	// rec is the span recorder (nil when tracing is off; every hook
+	// checks). ord is the episode's global ordinal — the head-sampling
+	// key and the exemplar ID — seeded per shard by the evaluators and
+	// incremented after every run. rootSpan is the episode's root span.
+	rec      *trace.Recorder
+	ord      uint64
+	rootSpan trace.SpanID
 }
 
 // tracing reports whether a trace sink is configured; the hot path
@@ -149,6 +157,14 @@ type satellite struct {
 	retryAttempt int
 	// jointPasses parameterizes the pending joint-computation event.
 	jointPasses int
+	// compSpan, awaitSpan, and waitSpan are the satellite's open trace
+	// spans (computation in progress, ack round-trip, backward
+	// coordination-done wait); zero when tracing is off. resetFor clears
+	// them with the rest of the struct, and the recorder's epoch fence
+	// neutralizes any ID that leaks across an episode boundary.
+	compSpan  trace.SpanID
+	awaitSpan trace.SpanID
+	waitSpan  trace.SpanID
 	// handler is the satellite's crosslink receive closure, created once
 	// when the struct is first allocated and preserved across resets (a
 	// fresh bound-method value would allocate every episode).
@@ -241,10 +257,16 @@ func (e *episode) recordAlert(msg crosslink.Message) {
 		if e.tracing() {
 			e.trace(e.sim.Now(), -1, TraceAlertReceived, "LATE alert (level %v) discarded", pay.level)
 		}
+		if e.rec != nil {
+			e.rec.Event(trace.KindEvent, "alert-late", trace.SatGround, e.sim.Now(), msg.SentAt-e.t0)
+		}
 		return // late alert: does not count toward the QoS level
 	}
 	if e.tracing() {
 		e.trace(e.sim.Now(), -1, TraceAlertReceived, "level %v accepted (sent %.3f min after detection)", pay.level, msg.SentAt-e.t0)
+	}
+	if e.rec != nil {
+		e.rec.Event(trace.KindEvent, "alert-accepted", trace.SatGround, e.sim.Now(), msg.SentAt-e.t0)
 	}
 	e.deliveredByTau = true
 	if pay.level > e.bestLevel || (pay.level == e.bestLevel && pay.passes > e.bestPasses) {
@@ -324,8 +346,14 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		}
 	case kindAck:
 		s.ackedForward = true
+		if s.ep.rec != nil {
+			s.ep.rec.EndArg(s.awaitSpan, now, float64(s.retryAttempt))
+		}
 	case kindDone:
 		s.doneFrom = true
+		if s.ep.rec != nil {
+			s.ep.rec.End(s.waitSpan, now)
+		}
 		s.ep.note(TraceDoneReceived)
 		if s.ep.tracing() {
 			s.ep.trace(now, s.id, TraceDoneReceived, "from S%d", int(msg.From))
@@ -356,10 +384,16 @@ func passAttemptEvent(t float64, arg any) {
 	}
 	if s.ep.signalActiveAt(t) {
 		h := s.ep.p.ComputeTime.Sample(s.ep.rng)
+		if s.ep.rec != nil {
+			s.compSpan = s.ep.rec.Async(trace.KindCompute, "iterative-computation", int32(s.id), t)
+		}
 		s.ep.sim.ScheduleCall(h, "iterative-computation", iterativeComputationEvent, s)
 		return
 	}
 	// TC-3: the signal stopped before this footprint arrived.
+	if s.ep.rec != nil {
+		s.ep.rec.Event(trace.KindEvent, "signal-lost", int32(s.id), t, 0)
+	}
 	s.ep.note(TraceSignalLost)
 	if s.ep.tracing() {
 		s.ep.trace(t, s.id, TraceSignalLost, "TC-3 observed at pass")
@@ -381,6 +415,9 @@ func iterativeComputationEvent(done float64, arg any) {
 	}
 	s.passes = s.inherited.passes + 1
 	s.level = qos.LevelSequentialDual
+	if s.ep.rec != nil {
+		s.ep.rec.EndArg(s.compSpan, done, float64(s.passes))
+	}
 	s.ep.note(TraceComputationDone)
 	if s.ep.tracing() {
 		s.ep.trace(done, s.id, TraceComputationDone, "iteration %d complete", s.passes)
@@ -463,6 +500,9 @@ func (s *satellite) evaluate(now float64) {
 		if waitUntil < now {
 			waitUntil = now
 		}
+		if e.rec != nil {
+			s.waitSpan = e.rec.Async(trace.KindAwait, "await-done", int32(s.id), now)
+		}
 		e.sim.ScheduleCallAt(waitUntil, "wait-timeout", waitTimeoutEvent, s)
 	}
 }
@@ -479,6 +519,9 @@ func waitTimeoutEvent(t float64, arg any) {
 	e.note(TraceTimeout)
 	if e.tracing() {
 		e.trace(t, s.id, TraceTimeout, "no coordination-done by τ-(n-1)δ")
+	}
+	if e.rec != nil {
+		e.rec.EndArg(s.waitSpan, t, 1)
 	}
 	e.noteTermination(TermTimeout)
 	s.sendAlert(s.level, s.passes)
@@ -498,6 +541,11 @@ func (s *satellite) armAckTimeout(to crosslink.NodeID, attempt int) {
 	e := s.ep
 	s.retryTo = to
 	s.retryAttempt = attempt
+	if e.rec != nil && attempt == 0 {
+		// One await-ack span covers the whole retry sequence; retransmits
+		// appear as events inside it.
+		s.awaitSpan = e.rec.Async(trace.KindAwait, "await-ack", int32(s.id), e.sim.Now())
+	}
 	at := math.Min(e.sim.Now()+2*e.p.DeltaMin, e.deadline)
 	e.sim.ScheduleCallAt(at, "ack-timeout", ackTimeoutEvent, s)
 }
@@ -518,9 +566,15 @@ func ackTimeoutEvent(t float64, arg any) {
 		if e.tracing() {
 			e.trace(t, s.id, TraceRequestSent, "retransmit %d to S%d (no ack)", s.retryAttempt+1, int(s.retryTo))
 		}
+		if e.rec != nil {
+			e.rec.Event(trace.KindEvent, "retransmit", int32(s.id), t, float64(s.retryAttempt+1))
+		}
 		_ = e.net.Send(s.node, s.retryTo, kindRequest, &s.reqOut)
 		s.armAckTimeout(s.retryTo, s.retryAttempt+1)
 		return
+	}
+	if e.rec != nil {
+		e.rec.EndArg(s.awaitSpan, t, float64(s.retryAttempt))
 	}
 	e.noteTermination(TermRetriesExhausted)
 	s.forwarded = false
@@ -632,6 +686,9 @@ func (r *episodeRunner) run() EpisodeResult {
 	// chain indices stay positive.
 	e.sigStart = 64*e.l1 + e.rng.Float64()*e.l1
 	e.sigEnd = e.sigStart + e.p.SignalDuration.Sample(e.rng)
+	if e.rec != nil {
+		e.startTrace()
+	}
 
 	// Detection.
 	covering := e.coveringAt(e.sigStart)
@@ -652,11 +709,22 @@ func (r *episodeRunner) run() EpisodeResult {
 			if e.obs != nil {
 				e.obs.recordEpisode(e, &res)
 			}
+			if e.rec != nil {
+				e.rec.Event(trace.KindEvent, "target-escaped", trace.SatKernel, e.sigEnd, 0)
+				e.finishTrace(&res, e.sigEnd)
+			}
+			e.ord++
 			return res
 		}
 		e.t0 = nextPass
 		detectionDelay = e.t0 - e.sigStart
 		covering = e.coveringAt(e.t0)
+		if e.rec != nil {
+			// The signal was live before any footprint arrived: record the
+			// detection wait explicitly.
+			dw := e.rec.Async(trace.KindAwait, "detect-wait", trace.SatKernel, e.sigStart)
+			e.rec.EndArg(dw, e.t0, detectionDelay)
+		}
 	}
 	e.deadline = e.t0 + e.p.TauMin
 	// Pin the detection covering set (covBuf is transient) and anchor the
@@ -709,6 +777,10 @@ func (r *episodeRunner) run() EpisodeResult {
 	if e.obs != nil {
 		e.obs.recordEpisode(e, &res)
 	}
+	if e.rec != nil {
+		e.finishTrace(&res, e.sim.Now())
+	}
+	e.ord++
 	return res
 }
 
@@ -777,7 +849,10 @@ func RunEpisode(p Params, rng *stats.RNG) (EpisodeResult, error) {
 	}
 	m := maybeShardMetrics(p.Metrics)
 	r.setMetrics(m)
+	r.ep.ord = 0
+	detach := r.attachShardTracer(p.Tracing, 0)
 	res := r.run()
+	detach()
 	m.publish(p.Metrics)
 	r.setMetrics(nil)
 	runnerPool.Put(r)
@@ -804,6 +879,9 @@ func NewRunner(p Params, rng *stats.RNG) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Tracing != nil {
+		er.setTracer(trace.NewRecorder(p.Tracing))
+	}
 	m := maybeShardMetrics(p.Metrics)
 	er.setMetrics(m)
 	return &Runner{r: er, m: m}, nil
@@ -817,6 +895,11 @@ func (r *Runner) Run() EpisodeResult { return r.r.run() }
 // once, after the last Run: the flush adds the running totals, so
 // repeated calls double-count.
 func (r *Runner) PublishMetrics() { r.m.publish(r.r.ep.p.Metrics) }
+
+// FlushTraces moves the traces retained so far into the tracing config's
+// Collector (a no-op when tracing is off). Call it after the last Run —
+// or periodically; flushed traces are cleared from the runner.
+func (r *Runner) FlushTraces() { r.r.ep.rec.Flush() }
 
 // detectionEvent is the t0 event; the covering set is pinned in
 // e.detCov by run.
@@ -854,15 +937,24 @@ func (e *episode) onDetection() {
 	switch {
 	case e.p.Scheme == qos.SchemeBAQ:
 		// Deliver after the initial computation, no waiting.
+		if e.rec != nil {
+			s1.compSpan = e.rec.Async(trace.KindCompute, "initial-computation", int32(s1.id), e.t0)
+		}
 		e.sim.ScheduleCall(h1, "initial-computation", initialComputationBAQEvent, s1)
 		e.armPreliminaryGuard(s1)
 
 	case e.overlap:
 		// OAQ, overlapping regime: withhold the preliminary result and
 		// wait for the overlapped footprints (§3.1).
+		if e.rec != nil {
+			s1.compSpan = e.rec.Async(trace.KindCompute, "initial-computation", int32(s1.id), e.t0)
+		}
 		e.sim.ScheduleCall(h1, "initial-computation", initialComputationWithheldEvent, s1)
 		tBeta := float64(s1.id+1) * e.l1
 		if tBeta <= e.deadline {
+			if e.rec != nil {
+				s1.awaitSpan = e.rec.Async(trace.KindAwait, "await-overlap", int32(s1.id), e.t0)
+			}
 			e.sim.ScheduleCallAt(tBeta, "overlap-arrival", overlapArrivalEvent, s1)
 		}
 		e.armPreliminaryGuard(s1)
@@ -875,6 +967,9 @@ func (e *episode) onDetection() {
 		// preliminary (partial) result on time. After a forward, the
 		// wait timer (backward messaging) or the peer's terminal guard
 		// (no-backward) takes over.
+		if e.rec != nil {
+			s1.compSpan = e.rec.Async(trace.KindCompute, "initial-computation", int32(s1.id), e.t0)
+		}
 		e.sim.ScheduleCall(h1, "initial-computation", initialComputationEvaluateEvent, s1)
 		e.armPreliminaryGuard(s1)
 	}
@@ -884,6 +979,9 @@ func (e *episode) onDetection() {
 // result immediately, no coordination.
 func initialComputationBAQEvent(t float64, arg any) {
 	s1 := arg.(*satellite)
+	if s1.ep.rec != nil {
+		s1.ep.rec.EndArg(s1.compSpan, t, 1)
+	}
 	s1.ep.note(TraceComputationDone)
 	if s1.ep.tracing() {
 		s1.ep.trace(t, s1.id, TraceComputationDone, "initial computation")
@@ -896,6 +994,9 @@ func initialComputationBAQEvent(t float64, arg any) {
 // footprint's arrival.
 func initialComputationWithheldEvent(t float64, arg any) {
 	s1 := arg.(*satellite)
+	if s1.ep.rec != nil {
+		s1.ep.rec.EndArg(s1.compSpan, t, 1)
+	}
 	s1.ep.note(TraceComputationDone)
 	if s1.ep.tracing() {
 		s1.ep.trace(t, s1.id, TraceComputationDone, "preliminary result withheld (overlap regime)")
@@ -906,6 +1007,9 @@ func initialComputationWithheldEvent(t float64, arg any) {
 // termination conditions after the initial computation.
 func initialComputationEvaluateEvent(now float64, arg any) {
 	s1 := arg.(*satellite)
+	if s1.ep.rec != nil {
+		s1.ep.rec.EndArg(s1.compSpan, now, 1)
+	}
 	s1.ep.note(TraceComputationDone)
 	if s1.ep.tracing() {
 		s1.ep.trace(now, s1.id, TraceComputationDone, "initial computation; evaluating TC conditions")
@@ -923,12 +1027,18 @@ func overlapArrivalEvent(now float64, arg any) {
 		e.trace(now, s1.id+1, TracePassArrival,
 			"overlapped footprint arrives; signal active: %v", e.signalActiveAt(now))
 	}
+	if e.rec != nil {
+		e.rec.End(s1.awaitSpan, now)
+	}
 	if e.signalActiveAt(now) {
 		e.jointComputation(s1, 2)
 		return
 	}
 	// The signal stopped before simultaneous coverage: no further
 	// opportunity; release the preliminary result.
+	if e.rec != nil {
+		e.rec.Event(trace.KindEvent, "signal-lost", int32(s1.id+1), now, 0)
+	}
 	e.note(TraceSignalLost)
 	e.noteTermination(TermSignalLost)
 	s1.sendAlert(qos.LevelSingle, 1)
@@ -939,6 +1049,9 @@ func overlapArrivalEvent(now float64, arg any) {
 func (e *episode) jointComputation(s *satellite, passes int) {
 	h := e.p.ComputeTime.Sample(e.rng)
 	s.jointPasses = passes
+	if e.rec != nil {
+		s.compSpan = e.rec.Async(trace.KindCompute, "joint-computation", int32(s.id), e.sim.Now())
+	}
 	e.sim.ScheduleCall(h, "joint-computation", jointComputationEvent, s)
 }
 
@@ -947,6 +1060,9 @@ func jointComputationEvent(t float64, arg any) {
 	e := s.ep
 	s.passes = s.jointPasses
 	s.level = qos.LevelSimultaneousDual
+	if e.rec != nil {
+		e.rec.EndArg(s.compSpan, t, float64(s.jointPasses))
+	}
 	e.note(TraceComputationDone)
 	if e.tracing() {
 		e.trace(t, s.id, TraceComputationDone, "simultaneous-coverage computation")
@@ -970,6 +1086,9 @@ func preliminaryGuardEvent(t float64, arg any) {
 		e.note(TraceTimeout)
 		if e.tracing() {
 			e.trace(t, s.id, TraceTimeout, "deadline guard: releasing preliminary result")
+		}
+		if e.rec != nil {
+			e.rec.Event(trace.KindEvent, "preliminary-guard", int32(s.id), t, 0)
 		}
 		e.noteTermination(TermDeadline)
 		s.sendAlert(qos.LevelSingle, 1)

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts the runtime-introspection HTTP server shared by the
+// CLIs' -pprof flag: the net/http/pprof profiling endpoints plus the
+// registry's Prometheus exposition under /metrics, on one mux. The
+// bound address is printed to w so callers (and tests) can use ":0".
+// The returned stop closes the listener and in-flight connections.
+func ServeDebug(addr string, r *Registry, w io.Writer) (stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(rw)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(w, "pprof and /metrics serving on http://%s\n", ln.Addr())
+	return srv.Close, nil
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugEndpoints binds the debug server to an ephemeral port
+// and checks both halves of the mux: the pprof index and the Prometheus
+// exposition of the given registry.
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debug_test_total", "Smoke counter.").Add(3)
+	var b strings.Builder
+	stop, err := ServeDebug("127.0.0.1:0", r, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	out := b.String()
+	i := strings.Index(out, "http://")
+	if i < 0 {
+		t.Fatalf("bound address not printed: %q", out)
+	}
+	base := strings.TrimSpace(out[i:])
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+	body := get("/metrics")
+	if !strings.Contains(body, "# TYPE debug_test_total counter") {
+		t.Errorf("/metrics not in Prometheus exposition format:\n%.200s", body)
+	}
+	if !strings.Contains(body, "debug_test_total 3") {
+		t.Errorf("/metrics missing the registry's counter:\n%.200s", body)
+	}
+
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}
+
+// TestServeDebugBadAddr: an unbindable address surfaces as an error,
+// not a panic.
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:99999", NewRegistry(), io.Discard); err == nil {
+		t.Error("expected listen error")
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSetExemplarMaxWins: the histogram keeps the exemplar with the
+// largest value; ties keep the incumbent (so shard-ordered folds are
+// deterministic), and junk inputs are ignored.
+func TestSetExemplarMaxWins(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	if _, _, ok := h.Exemplar(); ok {
+		t.Fatal("fresh histogram has an exemplar")
+	}
+	h.SetExemplar("ep-1", 2)
+	h.SetExemplar("ep-2", 5)
+	h.SetExemplar("ep-3", 5)   // tie: incumbent wins
+	h.SetExemplar("ep-4", 0.5) // smaller: ignored
+	h.SetExemplar("", 99)      // empty id: ignored
+	h.SetExemplar("ep-5", math.NaN())
+	h.SetExemplar("ep-6", math.Inf(1))
+	id, v, ok := h.Exemplar()
+	if !ok || id != "ep-2" || v != 5 {
+		t.Errorf("Exemplar() = %q, %g, %v; want ep-2, 5, true", id, v, ok)
+	}
+
+	h.Reset()
+	if _, _, ok := h.Exemplar(); ok {
+		t.Error("Reset did not clear the exemplar")
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("Reset did not zero counts")
+	}
+
+	var nilH *Histogram
+	nilH.SetExemplar("x", 1)
+	nilH.Reset()
+	if _, _, ok := nilH.Exemplar(); ok {
+		t.Error("nil histogram has an exemplar")
+	}
+}
+
+// TestObserveExemplarThroughAddLocal: the per-shard local histogram
+// tracks the ordinal of its largest observation, Merge folds locals
+// deterministically (ties keep the earlier shard's ordinal), and
+// AddLocal publishes the winner as "ep-<ordinal>".
+func TestObserveExemplarThroughAddLocal(t *testing.T) {
+	bounds := []float64{1, 5, 10}
+	a := NewLocalHistogram(bounds)
+	a.ObserveExemplar(2, 10)
+	a.ObserveExemplar(7, 11) // shard max
+	a.ObserveExemplar(math.NaN(), 12)
+	b := NewLocalHistogram(bounds)
+	b.ObserveExemplar(7, 20) // ties shard a's max: a's ordinal must win
+	b.ObserveExemplar(1, 21)
+
+	a.Merge(b)
+	if a.Count() != 5 {
+		t.Errorf("merged count = %d, want 5", a.Count())
+	}
+	h := NewHistogram(bounds)
+	h.AddLocal(a)
+	id, v, ok := h.Exemplar()
+	if !ok || id != "ep-11" || v != 7 {
+		t.Errorf("published exemplar = %q, %g, %v; want ep-11, 7, true", id, v, ok)
+	}
+	// Non-finite observations landed in the overflow bucket, not the sum.
+	if got, want := h.Sum(), 2.0+7+7+1; got != want {
+		t.Errorf("merged sum = %g, want %g", got, want)
+	}
+
+	// A larger later shard replaces the exemplar.
+	c := NewLocalHistogram(bounds)
+	c.ObserveExemplar(9, 30)
+	h.AddLocal(c)
+	if id, v, _ := h.Exemplar(); id != "ep-30" || v != 9 {
+		t.Errorf("exemplar after larger shard = %q, %g; want ep-30, 9", id, v)
+	}
+
+	var nilL *LocalHistogram
+	nilL.ObserveExemplar(1, 0)
+	nilL.Merge(a)
+	a.Merge(nilL)
+}
+
+// TestRegistryMergeFoldsExemplars: Registry.Merge carries histogram
+// exemplars across registries, largest value winning.
+func TestRegistryMergeFoldsExemplars(t *testing.T) {
+	bounds := []float64{1, 10}
+	dst := NewRegistry()
+	dst.Histogram("lat_minutes", "h", bounds).SetExemplar("ep-1", 3)
+	src := NewRegistry()
+	src.Histogram("lat_minutes", "h", bounds).SetExemplar("ep-2", 8)
+	dst.Merge(src)
+	if id, v, _ := dst.Histogram("lat_minutes", "h", bounds).Exemplar(); id != "ep-2" || v != 8 {
+		t.Errorf("merged exemplar = %q, %g; want ep-2, 8", id, v)
+	}
+}
+
+// TestSnapshotExemplarRoundTrip: the exemplar survives the JSON
+// snapshot (the contract metricscheck and the trace docs rely on), and
+// histograms without one omit the field entirely.
+func TestSnapshotExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("oaq_alert_latency_minutes", "lat", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(4)
+	h.SetExemplar("compare/k10-OAQ/ep-42", 4)
+	r.Histogram("plain_minutes", "no exemplar", []float64{1}).Observe(0.2)
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name     string `json:"name"`
+			Exemplar *struct {
+				TraceID string  `json:"trace_id"`
+				Value   float64 `json:"value"`
+			} `json:"exemplar"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*struct {
+		TraceID string  `json:"trace_id"`
+		Value   float64 `json:"value"`
+	}{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m.Exemplar
+	}
+	ex, ok := byName["oaq_alert_latency_minutes"]
+	if !ok || ex == nil {
+		t.Fatalf("snapshot lost the exemplar: %s", data)
+	}
+	if ex.TraceID != "compare/k10-OAQ/ep-42" || ex.Value != 4 {
+		t.Errorf("exemplar round-trip = %+v", ex)
+	}
+	if plain, ok := byName["plain_minutes"]; !ok {
+		t.Error("plain histogram missing from snapshot")
+	} else if plain != nil {
+		t.Error("exemplar-free histogram grew an exemplar field")
+	}
+	if strings.Count(string(data), `"exemplar"`) != 1 {
+		t.Errorf("exemplar field not omitted when empty:\n%s", data)
+	}
+}
+
+// TestRegistryResetAndLen covers the test-support surface: Reset keeps
+// registrations but zeroes values of all three kinds.
+func TestRegistryResetAndLen(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(3)
+	r.Gauge("g", "g").Set(7)
+	h := r.Histogram("h_minutes", "h", []float64{1})
+	h.Observe(0.5)
+	h.SetExemplar("ep-0", 0.5)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 3 {
+		t.Errorf("Reset dropped registrations: Len = %d", r.Len())
+	}
+	if r.Counter("c_total", "c").Value() != 0 || r.Gauge("g", "g").Value() != 0 {
+		t.Error("Reset left counter/gauge values")
+	}
+	if h.Count() != 0 {
+		t.Error("Reset left histogram observations")
+	}
+}

@@ -27,6 +27,18 @@ type SnapshotMetric struct {
 	Count   *uint64          `json:"count,omitempty"`
 	Sum     *float64         `json:"sum,omitempty"`
 	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+	// Exemplar links a histogram to the trace of an episode that
+	// produced a maximal observation (present only when one was
+	// recorded). It is part of the deterministic snapshot: the exemplar
+	// derives from episode ordinals via shard-ordered merges, never from
+	// wall clocks.
+	Exemplar *SnapshotExemplar `json:"exemplar,omitempty"`
+}
+
+// SnapshotExemplar is a histogram's trace-ID exemplar.
+type SnapshotExemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // SnapshotBucket is one histogram bucket; LE is the inclusive upper
@@ -73,6 +85,9 @@ func (r *Registry) Snapshot() Snapshot {
 					le = formatFloat(m.h.bounds[i])
 				}
 				sm.Buckets = append(sm.Buckets, SnapshotBucket{LE: le, Count: m.h.counts[i].Load()})
+			}
+			if id, v, ok := m.h.Exemplar(); ok {
+				sm.Exemplar = &SnapshotExemplar{TraceID: id, Value: v}
 			}
 		}
 		out.Metrics = append(out.Metrics, sm)

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -19,6 +21,15 @@ type Histogram struct {
 	bounds []float64       // strictly increasing upper bounds
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomicFloat
+	// exemplar links the distribution to a trace: the ID of an episode
+	// that produced a maximal observation (see SetExemplar). Mutex-free
+	// reads are not needed on the hot path — exemplars are installed at
+	// publish time, not per observation — so a plain mutexed pair is
+	// enough.
+	exMu  sync.Mutex
+	exID  string
+	exVal float64
+	exSet bool
 }
 
 // validateBounds panics unless the upper bounds are finite, non-empty,
@@ -96,7 +107,7 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Load()
 }
 
-// Reset zeroes counts and sum, keeping the bucket layout.
+// Reset zeroes counts, sum, and exemplar, keeping the bucket layout.
 func (h *Histogram) Reset() {
 	if h == nil {
 		return
@@ -105,6 +116,33 @@ func (h *Histogram) Reset() {
 		h.counts[i].Store(0)
 	}
 	h.sum.Store(0)
+	h.exMu.Lock()
+	h.exID, h.exVal, h.exSet = "", 0, false
+	h.exMu.Unlock()
+}
+
+// SetExemplar links the histogram to the trace ID of an observation,
+// keeping the exemplar with the largest value across calls (ties keep
+// the incumbent, so folding shards in order is deterministic).
+func (h *Histogram) SetExemplar(id string, v float64) {
+	if h == nil || id == "" || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.exMu.Lock()
+	if !h.exSet || v > h.exVal {
+		h.exID, h.exVal, h.exSet = id, v, true
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the linked trace ID and value, if any.
+func (h *Histogram) Exemplar() (id string, v float64, ok bool) {
+	if h == nil {
+		return "", 0, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exID, h.exVal, h.exSet
 }
 
 // AddLocal folds a per-shard LocalHistogram into h. The local histogram
@@ -124,6 +162,9 @@ func (h *Histogram) AddLocal(l *LocalHistogram) {
 		}
 	}
 	h.sum.Add(l.sum)
+	if l.exSet {
+		h.SetExemplar("ep-"+strconv.FormatUint(l.exOrd, 10), l.exVal)
+	}
 }
 
 // merge folds another Histogram (same layout) into h; used by
@@ -141,6 +182,9 @@ func (h *Histogram) merge(o *Histogram) {
 		}
 	}
 	h.sum.Add(o.sum.Load())
+	if id, v, ok := o.Exemplar(); ok {
+		h.SetExemplar(id, v)
+	}
 }
 
 // LocalHistogram is the single-goroutine counterpart of Histogram: plain
@@ -152,6 +196,13 @@ type LocalHistogram struct {
 	bounds []float64
 	counts []uint64
 	sum    float64
+	// Exemplar state: the episode ordinal of the largest finite
+	// observation so far (see ObserveExemplar). Strictly-greater updates
+	// keep the first-seen ordinal on ties, so folding shards in shard
+	// order yields the same exemplar at any worker count.
+	exSet bool
+	exVal float64
+	exOrd uint64
 }
 
 // NewLocalHistogram builds a local histogram over the given upper
@@ -175,6 +226,25 @@ func (l *LocalHistogram) Observe(v float64) {
 	}
 	l.counts[bucketIndex(l.bounds, v)]++
 	l.sum += v
+}
+
+// ObserveExemplar records one value like Observe and additionally
+// tracks the episode ordinal of the largest finite observation, which
+// AddLocal publishes as the histogram's trace exemplar ("ep-<ordinal>").
+// The comparison is strictly greater-than: on equal values the earliest
+// recorded ordinal wins, which (with shard-ordered merges) makes the
+// exemplar independent of the worker count. No allocations.
+func (l *LocalHistogram) ObserveExemplar(v float64, ord uint64) {
+	if l == nil {
+		return
+	}
+	l.Observe(v)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if !l.exSet || v > l.exVal {
+		l.exSet, l.exVal, l.exOrd = true, v, ord
+	}
 }
 
 // Count returns the total number of observations.
@@ -209,6 +279,9 @@ func (l *LocalHistogram) Merge(o *LocalHistogram) {
 		l.counts[i] += n
 	}
 	l.sum += o.sum
+	if o.exSet && (!l.exSet || o.exVal > l.exVal) {
+		l.exSet, l.exVal, l.exOrd = true, o.exVal, o.exOrd
+	}
 }
 
 // atomicFloat is a float64 with atomic add via CAS on its bits.

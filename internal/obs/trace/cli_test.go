@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseCLI registers the flag bundle on a fresh set, parses args, and
+// returns the CLI with its flag set for Config.
+func parseCLI(t *testing.T, args ...string) (*CLI, *flag.FlagSet) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var c CLI
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &c, fs
+}
+
+func TestCLIDisabled(t *testing.T) {
+	c, fs := parseCLI(t)
+	if c.Enabled() {
+		t.Error("zero CLI reports enabled")
+	}
+	cfg, err := c.Config(fs)
+	if err != nil || cfg != nil {
+		t.Errorf("disabled Config = %v, %v; want nil, nil", cfg, err)
+	}
+	if err := c.Export(cfg, io.Discard); err != nil {
+		t.Errorf("nil-config Export: %v", err)
+	}
+}
+
+func TestCLISamplingFlagsNeedDestination(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trace-sample", "10"},
+		{"-trace-anomaly", "retries"},
+	} {
+		c, fs := parseCLI(t, args...)
+		if _, err := c.Config(fs); err == nil {
+			t.Errorf("%v without a destination accepted", args)
+		}
+	}
+}
+
+// TestCLIDefaultAnomalyPolicy: enabling tracing without sampling flags
+// gets the full flight-recorder policy, and wall spans follow the
+// Chrome destination.
+func TestCLIDefaultAnomalyPolicy(t *testing.T) {
+	c, fs := parseCLI(t, "-trace", "-")
+	cfg, err := c.Config(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{RetriesExhausted: true, Undelivered: true, Invariant: true}
+	if cfg.Anomaly != want {
+		t.Errorf("default anomaly policy = %+v, want %+v", cfg.Anomaly, want)
+	}
+	if cfg.SampleEvery != 0 {
+		t.Errorf("default SampleEvery = %d, want 0", cfg.SampleEvery)
+	}
+	if cfg.WallSpans {
+		t.Error("wall spans enabled without a Chrome destination")
+	}
+	if cfg.Collector == nil || cfg.Validate() != nil {
+		t.Error("Config did not build a valid configuration")
+	}
+
+	c2, fs2 := parseCLI(t, "-trace-chrome", "x.json")
+	cfg2, err := c2.Config(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.WallSpans {
+		t.Error("Chrome destination should enable wall spans")
+	}
+}
+
+// TestCLIExplicitSampling: giving either sampling flag switches off the
+// implicit all-anomalies default.
+func TestCLIExplicitSampling(t *testing.T) {
+	c, fs := parseCLI(t, "-trace", "-", "-trace-sample", "100")
+	cfg, err := c.Config(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SampleEvery != 100 {
+		t.Errorf("SampleEvery = %d, want 100", cfg.SampleEvery)
+	}
+	if cfg.Anomaly.Enabled() {
+		t.Errorf("explicit -trace-sample still got anomaly policy %+v", cfg.Anomaly)
+	}
+
+	c2, fs2 := parseCLI(t, "-trace", "-", "-trace-anomaly", "latency>3")
+	cfg2, err := c2.Config(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Anomaly.LatencyAboveMin != 3 || cfg2.Anomaly.RetriesExhausted {
+		t.Errorf("explicit policy not honored: %+v", cfg2.Anomaly)
+	}
+}
+
+func TestCLIConfigErrors(t *testing.T) {
+	c, fs := parseCLI(t, "-trace", "-", "-trace-sample", "-1")
+	if _, err := c.Config(fs); err == nil {
+		t.Error("negative sample interval accepted")
+	}
+	c2, fs2 := parseCLI(t, "-trace", "-", "-trace-anomaly", "bogus")
+	if _, err := c2.Config(fs2); err == nil {
+		t.Error("bad anomaly spec accepted")
+	}
+}
+
+func TestCLIExportWritesBothDestinations(t *testing.T) {
+	dir := t.TempDir()
+	ld := filepath.Join(dir, "trace.txt")
+	chrome := filepath.Join(dir, "trace.json")
+	c, fs := parseCLI(t, "-trace", ld, "-trace-chrome", chrome)
+	cfg, err := c.Config(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Collector.Add([]EpisodeTrace{testTrace()})
+	var stdout strings.Builder
+	if err := c.Export(cfg, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	ldData, err := os.ReadFile(ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ldData), ldVersion) {
+		t.Errorf("LD file missing header:\n%.80s", ldData)
+	}
+	chromeData, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(chromeData), `"traceEvents"`) {
+		t.Errorf("Chrome file not a trace export:\n%.80s", chromeData)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("file export leaked to stdout: %q", stdout.String())
+	}
+
+	// "-" routes to the given writer.
+	c2, fs2 := parseCLI(t, "-trace", "-")
+	cfg2, err := c2.Config(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := c2.Export(cfg2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), ldVersion) {
+		t.Errorf("stdout export missing header: %q", out.String())
+	}
+}
+
+func TestCLIExportBadPath(t *testing.T) {
+	c, fs := parseCLI(t, "-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "x"))
+	cfg, err := c.Config(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Export(cfg, io.Discard); err == nil {
+		t.Error("unwritable destination accepted")
+	}
+}

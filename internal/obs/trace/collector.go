@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// WallSpan is one wall-clock observation of a parallel shard: how long
+// the shard waited in the work queue and how long it ran. Wall spans are
+// real-time measurements — nondeterministic by nature — so they are
+// exported only in the Chrome view (their own process track) and never
+// in the line-delimited format used by golden tests.
+type WallSpan struct {
+	// Label identifies the evaluation (typically the Config.Scope).
+	Label string
+	// Shard is the shard index within the evaluation.
+	Shard int
+	// WaitSec and BusySec are wall-clock seconds spent queued and
+	// running.
+	WaitSec float64
+	BusySec float64
+}
+
+// Collector accumulates retained traces from many recorders (one per
+// shard worker) and exports them deterministically: Traces sorts by
+// (Scope, Ordinal), normalizing whatever order concurrent flushes
+// arrived in.
+type Collector struct {
+	mu     sync.Mutex
+	traces []EpisodeTrace
+	wall   []WallSpan
+	sorted bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends retained traces; safe for concurrent use.
+func (c *Collector) Add(traces []EpisodeTrace) {
+	if c == nil || len(traces) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.traces = append(c.traces, traces...)
+	c.sorted = false
+	c.mu.Unlock()
+}
+
+// AddWall appends one wall-clock shard span; safe for concurrent use.
+func (c *Collector) AddWall(w WallSpan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.wall = append(c.wall, w)
+	c.mu.Unlock()
+}
+
+// Len reports the number of retained traces.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}
+
+// Traces returns the retained traces sorted by (Scope, Ordinal). The
+// returned slice is owned by the collector; don't mutate it.
+func (c *Collector) Traces() []EpisodeTrace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sorted {
+		sort.SliceStable(c.traces, func(i, j int) bool {
+			if c.traces[i].Scope != c.traces[j].Scope {
+				return c.traces[i].Scope < c.traces[j].Scope
+			}
+			return c.traces[i].Ordinal < c.traces[j].Ordinal
+		})
+		c.sorted = true
+	}
+	return c.traces
+}
+
+// WallSpans returns the wall-clock shard spans sorted by (Label, Shard).
+func (c *Collector) WallSpans() []WallSpan {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.SliceStable(c.wall, func(i, j int) bool {
+		if c.wall[i].Label != c.wall[j].Label {
+			return c.wall[i].Label < c.wall[j].Label
+		}
+		return c.wall[i].Shard < c.wall[j].Shard
+	})
+	return c.wall
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ldVersion is the header line of the line-delimited export. The format
+// is stable — golden tests and external tooling parse it — so changes
+// must bump the version.
+const ldVersion = "# satqos-trace v1"
+
+// WriteLD writes the retained traces in the stable line-delimited
+// format:
+//
+//	# satqos-trace v1
+//	trace <id> reasons=<r> spans=<n> dropped=<d>
+//	span <seq> parent=<p> kind=<kind> sat=<sat> start=<t> end=<t> arg=<a> label=<q>
+//	link <from> -> <to>
+//
+// Floats use strconv 'g' shortest formatting, so the output is
+// byte-stable for a deterministic input. Wall-clock shard spans are
+// deliberately excluded (nondeterministic).
+func (c *Collector) WriteLD(w io.Writer) error {
+	return writeLD(w, c.Traces())
+}
+
+func writeLD(w io.Writer, traces []EpisodeTrace) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(ldVersion)
+	bw.WriteByte('\n')
+	for i := range traces {
+		t := &traces[i]
+		bw.WriteString("trace ")
+		bw.WriteString(t.ID())
+		bw.WriteString(" reasons=")
+		bw.WriteString(t.Reasons.String())
+		bw.WriteString(" spans=")
+		bw.WriteString(strconv.Itoa(len(t.Spans)))
+		bw.WriteString(" dropped=")
+		bw.WriteString(strconv.Itoa(t.Dropped))
+		bw.WriteByte('\n')
+		for j := range t.Spans {
+			sp := &t.Spans[j]
+			bw.WriteString("span ")
+			bw.WriteString(strconv.Itoa(int(sp.Seq)))
+			bw.WriteString(" parent=")
+			bw.WriteString(strconv.Itoa(int(sp.Parent)))
+			bw.WriteString(" kind=")
+			bw.WriteString(sp.Kind.String())
+			bw.WriteString(" sat=")
+			bw.WriteString(strconv.Itoa(int(sp.Sat)))
+			bw.WriteString(" start=")
+			bw.WriteString(strconv.FormatFloat(sp.Start, 'g', -1, 64))
+			bw.WriteString(" end=")
+			bw.WriteString(strconv.FormatFloat(sp.End, 'g', -1, 64))
+			bw.WriteString(" arg=")
+			bw.WriteString(strconv.FormatFloat(sp.Arg, 'g', -1, 64))
+			bw.WriteString(" label=")
+			bw.WriteString(strconv.Quote(sp.Label))
+			bw.WriteByte('\n')
+		}
+		for _, l := range t.Links {
+			bw.WriteString("link ")
+			bw.WriteString(strconv.Itoa(int(l.From)))
+			bw.WriteString(" -> ")
+			bw.WriteString(strconv.Itoa(int(l.To)))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePolicy parses the CLI anomaly-policy spec: a comma-separated
+// list of conditions from
+//
+//	retries            retain retries-exhausted episodes
+//	undelivered        retain detected-but-undelivered episodes
+//	latency><minutes>  retain episodes with alert latency above the bound
+//	invariant          retain crosslink-invariant violations
+//	all                shorthand for retries,undelivered,invariant
+//
+// e.g. "retries,latency>2.5". Empty input yields the zero policy.
+func ParsePolicy(spec string) (Policy, error) {
+	var p Policy
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+		case tok == "retries":
+			p.RetriesExhausted = true
+		case tok == "undelivered":
+			p.Undelivered = true
+		case tok == "invariant":
+			p.Invariant = true
+		case tok == "all":
+			p.RetriesExhausted = true
+			p.Undelivered = true
+			p.Invariant = true
+		case strings.HasPrefix(tok, "latency>"):
+			v, err := strconv.ParseFloat(tok[len("latency>"):], 64)
+			if err != nil || v <= 0 {
+				return Policy{}, fmt.Errorf("trace: bad latency bound in %q", tok)
+			}
+			p.LatencyAboveMin = v
+		default:
+			return Policy{}, fmt.Errorf("trace: unknown anomaly condition %q (want retries, undelivered, invariant, latency><min>, all)", tok)
+		}
+	}
+	return p, nil
+}
