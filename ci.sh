@@ -35,7 +35,8 @@ go run ./cmd/oaqbench -exp fig9,simvsana -episodes 256 -metrics - |
 # metrics (wall-clock families are exempted by metricscheck's default
 # -ignore pattern).
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+qosd_pid=""
+trap 'if [ -n "$qosd_pid" ]; then kill "$qosd_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
 go run -race ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
     -faults cmd/constsim/testdata/faults.json -workers 1 -metrics "$tmpdir/w1.json"
 go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
@@ -75,6 +76,29 @@ awk -v budget="$alloc_budget" '
 ' "$tmpdir/bench.txt"
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR5.json BENCH_PR6.json
+go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
+    BENCH_PR6.json BENCH_PR8.json
+
+# Serving gate: boot satqosd on an ephemeral port with an artificially
+# tiny Monte-Carlo admission budget, then satqosload -smoke exercises
+# the analytic path, a Monte-Carlo request plus its cache-hit repeat,
+# and an over-budget request that must be shed with an explicit 429.
+# The served /metrics.json snapshot must validate (server + merged
+# simulation families) and record exactly one shed, and SIGTERM must
+# drain to a clean exit 0.
+go build -o "$tmpdir/satqosd" ./cmd/satqosd
+go build -o "$tmpdir/satqosload" ./cmd/satqosload
+"$tmpdir/satqosd" -addr 127.0.0.1:0 -ready-file "$tmpdir/qosd.addr" \
+    -mc-budget 50000 > "$tmpdir/qosd.log" 2>&1 &
+qosd_pid=$!
+"$tmpdir/satqosload" -smoke -addr-file "$tmpdir/qosd.addr" \
+    -shed-episodes 100000 -metrics-out "$tmpdir/qosd.metrics.json"
+go run ./cmd/metricscheck -in "$tmpdir/qosd.metrics.json" satqosd oaq
+grep -A 4 '"name": "satqosd_shed_total"' "$tmpdir/qosd.metrics.json" |
+    grep -q '"value": 1'
+kill -TERM "$qosd_pid"
+wait "$qosd_pid"
+qosd_pid=""
 
 # Pooled-shard allocation gate: a whole EvaluateParallel batch (4096
 # episodes = 4 shards) draws its runners from the shared pool and

@@ -1,6 +1,7 @@
 package oaq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -156,6 +157,24 @@ func Evaluate(p Params, episodes int, rng *stats.RNG) (*Evaluation, error) {
 // parallel.DefaultWorkers() and workers == 1 runs fully sequentially on
 // the calling goroutine.
 func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evaluation, error) {
+	return EvaluateParallelCtx(context.Background(), p, episodes, seed, workers)
+}
+
+// cancelCheckStride is how many episodes a shard runs between context
+// polls in EvaluateParallelCtx. At ~600 ns/episode a stride of 256
+// bounds the cancellation latency of one shard to ~0.2 ms while keeping
+// the poll (one atomic load) far off the per-episode cost.
+const cancelCheckStride = 256
+
+// EvaluateParallelCtx is EvaluateParallel with cooperative
+// cancellation, the form long-running callers (the satqosd evaluation
+// service) thread per-request deadlines through. Cancellation is
+// checked between shards and every cancelCheckStride episodes within a
+// shard; a canceled evaluation returns ctx.Err() and no partial
+// Evaluation, and publishes nothing into Params.Metrics — so every
+// successful return is bit-identical to the same call with a background
+// context at any worker count.
+func EvaluateParallelCtx(ctx context.Context, p Params, episodes int, seed uint64, workers int) (*Evaluation, error) {
 	if episodes <= 0 {
 		return nil, fmt.Errorf("oaq: episode count %d must be positive", episodes)
 	}
@@ -167,7 +186,7 @@ func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evalua
 		m *shardMetrics
 	}
 	evalStart := time.Now()
-	out, err := parallel.MonteCarlo(workers, episodes, 0,
+	out, err := parallel.MonteCarloCtx(ctx, workers, episodes, 0,
 		func(s parallel.Shard) (shardOut, error) {
 			begin := time.Now()
 			rng := stats.NewRNG(seed, uint64(s.Index))
@@ -197,13 +216,21 @@ func EvaluateParallel(p Params, episodes int, seed uint64, workers int) (*Evalua
 			detach := r.attachShardTracer(p.Tracing, uint64(s.Start))
 			o := shardOut{t: &tally{}, m: maybeShardMetrics(p.Metrics)}
 			r.setMetrics(o.m)
+			var shardErr error
 			for i := 0; i < s.Count; i++ {
+				if i%cancelCheckStride == 0 && ctx.Err() != nil {
+					shardErr = ctx.Err()
+					break
+				}
 				res := r.run()
 				o.t.add(&res)
 			}
 			detach()
 			r.setMetrics(nil)
 			runnerPool.Put(r)
+			if shardErr != nil {
+				return shardOut{}, shardErr
+			}
 			if p.Tracing != nil && p.Tracing.WallSpans {
 				p.Tracing.Collector.AddWall(trace.WallSpan{
 					Label:   p.Tracing.Scope,

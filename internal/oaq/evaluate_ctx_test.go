@@ -1,0 +1,76 @@
+package oaq
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"satqos/internal/obs"
+	"satqos/internal/qos"
+)
+
+func TestEvaluateParallelCtxBackgroundBitIdentical(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	const episodes, seed = 4096, 77
+	want, err := EvaluateParallel(p, episodes, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := EvaluateParallelCtx(context.Background(), p, episodes, seed, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: ctx evaluation differs from EvaluateParallel:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+	}
+}
+
+func TestEvaluateParallelCtxPreCanceled(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev, err := EvaluateParallelCtx(ctx, p, 4096, 1, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ev != nil {
+		t.Fatalf("partial evaluation %+v leaked from canceled run", ev)
+	}
+}
+
+func TestEvaluateParallelCtxDeadlineAborts(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// A budget this size takes seconds sequentially; the 1 ms deadline
+	// must abort it via the intra-shard polls long before completion.
+	ev, err := EvaluateParallelCtx(ctx, p, 5_000_000, 1, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if ev != nil {
+		t.Fatalf("partial evaluation leaked from timed-out run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, intra-shard polling is not working", elapsed)
+	}
+}
+
+func TestEvaluateParallelCtxCanceledPublishesNoMetrics(t *testing.T) {
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.Metrics = obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateParallelCtx(ctx, p, 4096, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := p.Metrics.Len(); n != 0 {
+		t.Fatalf("canceled evaluation published %d metrics, want 0", n)
+	}
+}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeDebugEndpoints binds the debug server to an ephemeral port
@@ -65,5 +67,104 @@ func TestServeDebugEndpoints(t *testing.T) {
 func TestServeDebugBadAddr(t *testing.T) {
 	if _, err := ServeDebug("256.0.0.1:99999", NewRegistry(), io.Discard); err == nil {
 		t.Error("expected listen error")
+	}
+}
+
+// TestServeHandlerDrainsInflightScrape is the regression test for the
+// hard-close lifecycle bug: stop used srv.Close, which aborted every
+// in-flight /metrics scrape mid-response. Now a scrape that is already
+// being served when stop is called must complete with a full 200
+// response while stop waits for it.
+func TestServeHandlerDrainsInflightScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drain_test_total", "Smoke counter.").Add(7)
+	mux := DebugMux(r)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	wrapped := http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/metrics" {
+			close(started)
+			<-release // hold the scrape in flight across the stop call
+		}
+		mux.ServeHTTP(rw, req)
+	})
+	bound, stop, err := ServeHandler("127.0.0.1:0", wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + bound
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	scrapeDone := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			scrapeDone <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		scrapeDone <- scrape{body: string(body), err: err}
+	}()
+
+	<-started
+	stopDone := make(chan error, 1)
+	go func() { stopDone <- stop() }()
+
+	// The drain must wait for the in-flight scrape: stop cannot have
+	// returned before the handler is released.
+	select {
+	case err := <-stopDone:
+		t.Fatalf("stop returned (%v) while a scrape was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	s := <-scrapeDone
+	if s.err != nil {
+		t.Fatalf("in-flight scrape aborted by shutdown: %v", s.err)
+	}
+	if !strings.Contains(s.body, "drain_test_total 7") {
+		t.Fatalf("drained scrape returned a truncated body:\n%.200s", s.body)
+	}
+	if err := <-stopDone; err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Stop is idempotent: a second call reports the settled result.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// TestDebugMuxMetricsJSON: the mux serves the stable JSON snapshot the
+// metricscheck validator consumes.
+func TestDebugMuxMetricsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("json_test_total", "Smoke counter.").Add(5)
+	bound, stop, err := ServeHandler("127.0.0.1:0", DebugMux(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), `"name": "json_test_total"`) {
+		t.Errorf("/metrics.json missing the counter:\n%.200s", body)
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScrapeWhileRecording is satqosd's steady-state access
+// pattern under the race detector: episode workers publish counters,
+// gauges, and histograms (including first-use registration of new
+// names) while scrapers concurrently run the two expositions and a
+// snapshot. The registry promises all of this is safe; this test makes
+// `go test -race` enforce it.
+func TestConcurrentScrapeWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, scrapes, rounds = 4, 4, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("race_episodes_total", "Episodes.").Inc()
+				r.Counter(fmt.Sprintf("race_level_total{level=%d}", i%4), "Levels.").Add(2)
+				r.Gauge("race_depth_max", "Watermark.").SetMax(int64(i))
+				r.Histogram("race_latency_minutes", "Latency.", MinuteBuckets).
+					Observe(float64(i%10) / 2)
+				if i%50 == 0 {
+					// First-use registration racing the scrapers.
+					r.Counter(fmt.Sprintf("race_worker_%d_round_%d_total", w, i), "Churn.").Inc()
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < scrapes; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < rounds/10; i++ {
+				switch (s + i) % 3 {
+				case 0:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				case 1:
+					if err := r.WriteJSON(io.Discard); err != nil {
+						t.Errorf("WriteJSON: %v", err)
+					}
+				default:
+					_ = r.Snapshot()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	want := uint64(workers * rounds)
+	if got := r.Counter("race_episodes_total", "Episodes.").Value(); got != want {
+		t.Fatalf("lost updates under concurrent scraping: %d of %d", got, want)
+	}
+	if got := r.Histogram("race_latency_minutes", "Latency.", MinuteBuckets).Count(); got != want {
+		t.Fatalf("histogram lost observations: %d of %d", got, want)
+	}
+}

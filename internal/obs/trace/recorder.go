@@ -144,7 +144,11 @@ type Recorder struct {
 	links  []Link
 	stack  []int32
 	active bool
-	kept   []EpisodeTrace
+	// dropped counts spans rejected at the per-epoch seq ceiling
+	// (maxEpisodeSpans); ring eviction is accounted separately in
+	// capture, which folds both into EpisodeTrace.Dropped.
+	dropped int
+	kept    []EpisodeTrace
 }
 
 // NewRecorder builds a recorder for the given (validated) config. The
@@ -174,6 +178,28 @@ func (r *Recorder) WantInvariant() bool {
 	return r != nil && r.cfg.Anomaly.Invariant
 }
 
+// SpanID packing: the low 32 bits carry the span seq, the bits above
+// them the episode epoch. Two guards keep the packing sound in a
+// long-running recorder (a satqosd process records millions of epochs
+// and arbitrarily busy episodes):
+//
+//   - maxEpisodeSpans caps the per-episode seq. Without it the seq
+//     counter wrapped after 2³¹ spans — first going negative (a panic in
+//     the ring index) and at 2³² aliasing the SpanIDs of evicted early
+//     spans, so a stale handle could close a live span. At the cap the
+//     recorder saturates: further spans are dropped (counted in the
+//     capture's Dropped) instead of corrupting the buffer.
+//   - epochIDMask folds the epoch into the 31 bits above the seq, so
+//     the packed ID never overflows int64 (which previously made every
+//     resolve fail from epoch 2³¹ on, silently leaving all spans
+//     unclosed). Two epochs alias only 2³¹ apart — and a SpanID is only
+//     ever held across a single episode boundary (an in-flight message
+//     envelope), never billions.
+const (
+	maxEpisodeSpans = math.MaxInt32
+	epochIDMask     = 1<<31 - 1
+)
+
 // StartEpisode begins recording a fresh episode with the given global
 // ordinal, invalidating every SpanID of the previous one.
 func (r *Recorder) StartEpisode(ord uint64) {
@@ -181,8 +207,14 @@ func (r *Recorder) StartEpisode(ord uint64) {
 		return
 	}
 	r.epoch++
+	if r.epoch&epochIDMask == 0 {
+		// Epoch values that mask to 0 would make a seq-0 span pack to the
+		// invalid SpanID 0; skip them.
+		r.epoch++
+	}
 	r.ord = ord
 	r.seq = 0
+	r.dropped = 0
 	r.links = r.links[:0]
 	r.stack = r.stack[:0]
 	r.active = true
@@ -190,13 +222,13 @@ func (r *Recorder) StartEpisode(ord uint64) {
 
 // id encodes a span seq of the current episode.
 func (r *Recorder) id(seq int32) SpanID {
-	return SpanID(r.epoch<<32 | int64(uint32(seq)))
+	return SpanID((r.epoch&epochIDMask)<<32 | int64(uint32(seq)))
 }
 
 // resolve maps a SpanID back to a live ring slot seq, rejecting IDs
 // from a previous episode and slots already evicted by ring wrap.
 func (r *Recorder) resolve(id SpanID) (int32, bool) {
-	if id == 0 || int64(id)>>32 != r.epoch {
+	if id == 0 || int64(id)>>32 != r.epoch&epochIDMask {
 		return 0, false
 	}
 	seq := int32(uint32(int64(id)))
@@ -204,6 +236,16 @@ func (r *Recorder) resolve(id SpanID) (int32, bool) {
 		return 0, false
 	}
 	return seq, true
+}
+
+// full reports whether the episode hit the per-epoch span ceiling; the
+// rejected span is counted so the capture's Dropped stays honest.
+func (r *Recorder) full() bool {
+	if r.seq < maxEpisodeSpans {
+		return false
+	}
+	r.dropped++
+	return true
 }
 
 // newSpan writes the next ring slot and returns its seq.
@@ -224,7 +266,7 @@ func (r *Recorder) newSpan(kind Kind, label string, sat int32, start, end float6
 // Begin opens a scoped span: subsequent spans record it as their parent
 // until the matching End. Label must be a static or memoized string.
 func (r *Recorder) Begin(kind Kind, label string, sat int32, t float64) SpanID {
-	if r == nil || !r.active {
+	if r == nil || !r.active || r.full() {
 		return 0
 	}
 	seq := r.newSpan(kind, label, sat, t, math.NaN())
@@ -238,7 +280,7 @@ func (r *Recorder) Begin(kind Kind, label string, sat int32, t float64) SpanID {
 // intervals that end in a different dispatch context (in-flight
 // messages, scheduled computations, wait windows).
 func (r *Recorder) Async(kind Kind, label string, sat int32, t float64) SpanID {
-	if r == nil || !r.active {
+	if r == nil || !r.active || r.full() {
 		return 0
 	}
 	return r.id(r.newSpan(kind, label, sat, t, math.NaN()))
@@ -246,7 +288,7 @@ func (r *Recorder) Async(kind Kind, label string, sat int32, t float64) SpanID {
 
 // Event records an instantaneous span.
 func (r *Recorder) Event(kind Kind, label string, sat int32, t, arg float64) SpanID {
-	if r == nil || !r.active {
+	if r == nil || !r.active || r.full() {
 		return 0
 	}
 	seq := r.newSpan(kind, label, sat, t, t)
@@ -344,7 +386,7 @@ func (r *Recorder) capture(reasons Reasons) EpisodeTrace {
 		Scope:   r.cfg.Scope,
 		Ordinal: r.ord,
 		Reasons: reasons,
-		Dropped: first,
+		Dropped: first + r.dropped,
 		Spans:   spans,
 		Links:   links,
 	}

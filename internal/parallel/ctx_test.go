@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := MapCtx(context.Background(), workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d of 100 tasks", workers, ran.Load())
+		}
+	}
+}
+
+func TestMapCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := MapCtx(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran after pre-cancellation", workers, ran.Load())
+		}
+	}
+}
+
+func TestMapCtxStopsStartingTasksAfterCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := MapCtx(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// Tasks already running when cancel fired may finish (one per
+		// worker), but the pool must stop drawing new indices.
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: all %d tasks ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestMapCtxCancellationOutranksTaskError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := MapCtx(ctx, 1, 10, func(i int) error { return errors.New("task") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMonteCarloCtxCanceledReturnsNoPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := MonteCarloCtx(ctx, 2, 10*DefaultShardSize, 0,
+		func(s Shard) (int, error) { return s.Count, nil },
+		func(acc, part int) int { return acc + part })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if sum != 0 {
+		t.Fatalf("partial result %d leaked from canceled run", sum)
+	}
+}
+
+func TestMonteCarloCtxBackgroundMatchesMonteCarlo(t *testing.T) {
+	run := func(s Shard) (int, error) { return s.Count * (s.Index + 1), nil }
+	merge := func(acc, part int) int { return acc + part }
+	want, err := MonteCarlo(3, 4096, 0, run, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MonteCarloCtx(context.Background(), 3, 4096, 0, run, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("MonteCarloCtx = %d, MonteCarlo = %d", got, want)
+	}
+}

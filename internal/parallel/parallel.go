@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,16 @@ func Normalize(workers int) int {
 // on goroutine scheduling. Results are communicated by fn writing into
 // the i-th slot of a caller-owned slice; distinct indices never race.
 func Map(workers, n int, fn func(i int) error) error {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: when ctx is done, no
+// further index is started (tasks already running finish — fn is never
+// interrupted mid-call) and MapCtx returns ctx.Err(), which takes
+// precedence over any per-index error because the attempted-every-index
+// guarantee no longer holds. A background context makes MapCtx
+// identical to Map.
+func MapCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -48,9 +59,15 @@ func Map(workers, n int, fn func(i int) error) error {
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runTask(start, fn, i); err != nil && first == nil {
 				first = err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		return first
 	}
@@ -61,7 +78,7 @@ func Map(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -71,6 +88,9 @@ func Map(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -82,8 +102,13 @@ func Map(workers, n int, fn func(i int) error) error {
 // MapSlice runs fn over [0, n) with Map's semantics and collects the
 // results in index order.
 func MapSlice[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapSliceCtx(context.Background(), workers, n, fn)
+}
+
+// MapSliceCtx is MapSlice with MapCtx's cancellation semantics.
+func MapSliceCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Map(workers, n, func(i int) error {
+	err := MapCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

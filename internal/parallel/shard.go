@@ -1,6 +1,9 @@
 package parallel
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // DefaultShardSize is the fixed Monte-Carlo shard granularity. It is a
 // property of the *budget partition*, not of the machine: a 10000-episode
@@ -52,12 +55,22 @@ func Shards(total, size int) []Shard {
 // its shard (conventionally stats.NewRNG(seed, shard.Index)) and must
 // not share mutable state across shards.
 func MonteCarlo[T any](workers, episodes, shardSize int, run func(s Shard) (T, error), merge func(acc, part T) T) (T, error) {
+	return MonteCarloCtx(context.Background(), workers, episodes, shardSize, run, merge)
+}
+
+// MonteCarloCtx is MonteCarlo with cooperative cancellation: when ctx
+// is done no further shard is started and the call returns ctx.Err()
+// with no partial result — a canceled evaluation never leaks a tally
+// folded from a subset of its shards, so every successful return keeps
+// the bit-identical-at-any-worker-count guarantee. Shard bodies that
+// want prompter cancellation should additionally poll ctx themselves.
+func MonteCarloCtx[T any](ctx context.Context, workers, episodes, shardSize int, run func(s Shard) (T, error), merge func(acc, part T) T) (T, error) {
 	var acc T
 	if episodes <= 0 {
 		return acc, fmt.Errorf("parallel: episode budget %d must be positive", episodes)
 	}
 	shards := Shards(episodes, shardSize)
-	parts, err := MapSlice(workers, len(shards), func(i int) (T, error) {
+	parts, err := MapSliceCtx(ctx, workers, len(shards), func(i int) (T, error) {
 		return run(shards[i])
 	})
 	if err != nil {

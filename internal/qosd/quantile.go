@@ -1,0 +1,71 @@
+package qosd
+
+import (
+	"math"
+	"strconv"
+
+	"satqos/internal/obs"
+)
+
+// LatencyQuantiles summarizes a request's alert-latency histogram.
+// Values are upper-bound estimates interpolated within fixed buckets
+// (obs.MinuteBuckets), in minutes.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50_min"`
+	P90 float64 `json:"p90_min"`
+	P99 float64 `json:"p99_min"`
+}
+
+// latencyQuantiles extracts p50/p90/p99 from the named histogram of a
+// snapshot. ok is false when the metric is missing or empty (e.g. no
+// episode delivered an alert).
+func latencyQuantiles(s obs.Snapshot, name string) (LatencyQuantiles, bool) {
+	m := s.Get(name)
+	if m == nil || len(m.Buckets) == 0 {
+		return LatencyQuantiles{}, false
+	}
+	var total uint64
+	for _, b := range m.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return LatencyQuantiles{}, false
+	}
+	return LatencyQuantiles{
+		P50: bucketQuantile(m.Buckets, total, 0.50),
+		P90: bucketQuantile(m.Buckets, total, 0.90),
+		P99: bucketQuantile(m.Buckets, total, 0.99),
+	}, true
+}
+
+// bucketQuantile returns the q-quantile estimate from per-bucket
+// (non-cumulative) counts, linearly interpolated inside the bucket that
+// crosses rank q·total. The overflow bucket clamps to its lower bound —
+// the honest answer when the histogram can't see past it.
+func bucketQuantile(buckets []obs.SnapshotBucket, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for _, b := range buckets {
+		prev := cum
+		cum += b.Count
+		upper, err := strconv.ParseFloat(b.LE, 64)
+		inf := err != nil || math.IsInf(upper, 1)
+		if float64(cum) >= rank && b.Count > 0 {
+			if inf {
+				return lower
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+		if !inf {
+			lower = upper
+		}
+	}
+	return lower
+}

@@ -1,0 +1,265 @@
+package qosd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"satqos/internal/capacity"
+	"satqos/internal/constellation"
+	"satqos/internal/fault"
+	"satqos/internal/oaq"
+	"satqos/internal/qos"
+	"satqos/internal/stats"
+)
+
+// Deployment selects the plane-capacity model composed into the
+// analytic answer: the threshold-triggered + scheduled ground-spare
+// policies of §4.2.2, with N and S taken from the request's preset.
+type Deployment struct {
+	// Eta is the threshold η of the threshold-triggered policy.
+	Eta int `json:"eta"`
+	// LambdaPerHour is the per-satellite failure rate λ (hours⁻¹).
+	LambdaPerHour float64 `json:"lambda_per_hour"`
+	// PhiHours is the scheduled-deployment period φ (hours).
+	PhiHours float64 `json:"phi_hours"`
+}
+
+// Request is the /v1/evaluate body: a constellation design + protocol
+// operating point + fault scenario + deployment policy, and the answer
+// mode. Zero values select the paper's §4.3 defaults.
+type Request struct {
+	// Mode is the evaluation path: "analytic" (closed-form, instant),
+	// "montecarlo" (simulated episodes; sheds 429 under load), or "auto"
+	// (Monte-Carlo, degrading to analytic-only under queue pressure).
+	// Default "auto".
+	Mode string `json:"mode"`
+	// Preset names the constellation design (constellation.PresetNames);
+	// default "reference".
+	Preset string `json:"preset"`
+	// K is the plane's active capacity; 0 derives it from the preset
+	// (clamped to the analytic model's two-regime ceiling).
+	K int `json:"k"`
+	// Scheme is "oaq" (default) or "baq".
+	Scheme string `json:"scheme"`
+	// TauMin, Mu, Nu are τ, µ, ν (defaults 5, 0.5, 30).
+	TauMin float64 `json:"tau_min"`
+	Mu     float64 `json:"mu"`
+	Nu     float64 `json:"nu"`
+	// FailSilentProb, LossProb, Retries, Backward configure the protocol
+	// simulation (Monte-Carlo only).
+	FailSilentProb float64 `json:"fail_silent_prob"`
+	LossProb       float64 `json:"loss_prob"`
+	Retries        int     `json:"retries"`
+	Backward       bool    `json:"backward"`
+	// Faults is an inline fault-scenario document (the same JSON schema
+	// the CLIs' -faults flag loads from a file). Monte-Carlo only.
+	Faults json.RawMessage `json:"faults,omitempty"`
+	// Deployment, when present, composes the analytic answer over the
+	// plane-capacity distribution P(k) instead of conditioning on K.
+	Deployment *Deployment `json:"deployment,omitempty"`
+	// Episodes is the Monte-Carlo budget (default 20000, capped by the
+	// server's -max-episodes).
+	Episodes int `json:"episodes"`
+	// Seed is the Monte-Carlo RNG seed (default 2003). Same params +
+	// seed ⇒ bit-identical answer at any server worker count.
+	Seed uint64 `json:"seed"`
+	// TimeoutMS bounds this request's evaluation wall-clock; 0 uses the
+	// server default. The deadline cancels the episode engine mid-run.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// resolved is a validated request with every default applied: the
+// simulation parameters, the analytic model, the optional capacity
+// distribution parameters, and the canonical cache key.
+type resolved struct {
+	mode     string
+	preset   string
+	scheme   qos.Scheme
+	k        int
+	episodes int
+	seed     uint64
+	params   oaq.Params
+	model    qos.Model
+	capures  *capacity.Params // nil without a deployment policy
+	key      string
+}
+
+// badRequestError marks client errors (HTTP 400) apart from server
+// faults.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return badRequestError{fmt.Errorf(format, args...)}
+}
+
+// resolve validates the request against the server limits and fills in
+// defaults, mirroring how cmd/constsim derives protocol parameters from
+// a constellation preset.
+func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
+	r := &resolved{
+		mode:   req.Mode,
+		preset: req.Preset,
+	}
+	if r.mode == "" {
+		r.mode = ModeAuto
+	}
+	if r.mode != ModeAnalytic && r.mode != ModeMonteCarlo && r.mode != ModeAuto {
+		return nil, badRequest("unknown mode %q (analytic | montecarlo | auto)", r.mode)
+	}
+	if r.preset == "" {
+		r.preset = constellation.PresetReference
+	}
+	presetCfg, err := constellation.PresetConfig(r.preset)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	switch strings.ToLower(req.Scheme) {
+	case "", "oaq":
+		r.scheme = qos.SchemeOAQ
+	case "baq":
+		r.scheme = qos.SchemeBAQ
+	default:
+		return nil, badRequest("unknown scheme %q (oaq | baq)", req.Scheme)
+	}
+	geom, err := qos.NewGeometry(presetCfg.PeriodMin, presetCfg.CoverageTimeMin)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	r.k = req.K
+	if r.k == 0 {
+		if r.preset == constellation.PresetReference {
+			r.k = 10 // the paper's spot-check capacity
+		} else {
+			r.k = presetCfg.ActivePerPlane
+			if maxK := geom.MaxTwoRegimeCapacity(); r.k > maxK {
+				r.k = maxK
+			}
+		}
+	}
+	tau, mu, nu := req.TauMin, req.Mu, req.Nu
+	if tau == 0 {
+		tau = 5
+	}
+	if mu == 0 {
+		mu = 0.5
+	}
+	if nu == 0 {
+		nu = 30
+	}
+
+	p := oaq.ReferenceParams(r.k, r.scheme)
+	p.Geom = geom
+	p.TauMin = tau
+	p.SignalDuration = stats.Exponential{Rate: mu}
+	p.ComputeTime = stats.Exponential{Rate: nu}
+	p.BackwardMessaging = req.Backward
+	p.FailSilentProb = req.FailSilentProb
+	p.MessageLossProb = req.LossProb
+	p.RequestRetries = req.Retries
+	if len(req.Faults) > 0 {
+		s, err := fault.Parse(req.Faults)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
+		p.Faults = s
+	}
+	if err := p.Validate(); err != nil {
+		return nil, badRequestError{err}
+	}
+	r.params = p
+
+	if r.model, err = qos.NewModel(geom, tau, mu, nu); err != nil {
+		return nil, badRequestError{err}
+	}
+	if d := req.Deployment; d != nil {
+		cp := capacity.Params{
+			ActivePerPlane: presetCfg.ActivePerPlane,
+			Spares:         presetCfg.SparesPerPlane,
+			Eta:            d.Eta,
+			LambdaPerHour:  d.LambdaPerHour,
+			PhiHours:       d.PhiHours,
+		}
+		if err := cp.Validate(); err != nil {
+			return nil, badRequestError{err}
+		}
+		r.capures = &cp
+	}
+
+	r.episodes = req.Episodes
+	if r.episodes == 0 {
+		r.episodes = 20000
+	}
+	if r.episodes < 0 {
+		return nil, badRequest("episode budget %d must be positive", r.episodes)
+	}
+	if r.episodes > maxEpisodes {
+		return nil, badRequest("episode budget %d exceeds the server cap %d", r.episodes, maxEpisodes)
+	}
+	r.seed = req.Seed
+	if r.seed == 0 {
+		r.seed = 2003
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequest("negative timeout_ms %d", req.TimeoutMS)
+	}
+
+	r.key = r.canonicalKey(req)
+	return r, nil
+}
+
+// canonicalKey encodes every resolved evaluation parameter — after
+// defaulting, so spelled-out and implied defaults collide — into a
+// deterministic string. Floats enter as exact hex-float encodings (the
+// qos G-table memo idiom), never formatted decimals, so two keys are
+// equal exactly when the evaluations are.
+func (r *resolved) canonicalKey(req *Request) string {
+	var b strings.Builder
+	hx := func(v float64) {
+		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		b.WriteByte('|')
+	}
+	b.WriteString(r.mode)
+	b.WriteByte('|')
+	b.WriteString(r.preset)
+	b.WriteByte('|')
+	fmt.Fprintf(&b, "%d|%d|", r.k, int(r.scheme))
+	hx(r.params.TauMin)
+	hx(r.params.SignalDuration.(stats.Exponential).Rate)
+	hx(r.params.ComputeTime.(stats.Exponential).Rate)
+	hx(r.params.FailSilentProb)
+	hx(r.params.MessageLossProb)
+	fmt.Fprintf(&b, "%d|%t|", r.params.RequestRetries, r.params.BackwardMessaging)
+	if len(req.Faults) > 0 {
+		// Compact the raw scenario JSON so formatting differences don't
+		// split the key (field order still matters; acceptable — a miss
+		// only costs a recompute).
+		b.WriteString(compactJSON(req.Faults))
+	}
+	b.WriteByte('|')
+	if c := r.capures; c != nil {
+		fmt.Fprintf(&b, "%d|%d|%d|", c.ActivePerPlane, c.Spares, c.Eta)
+		hx(c.LambdaPerHour)
+		hx(c.PhiHours)
+	}
+	b.WriteByte('|')
+	fmt.Fprintf(&b, "%d|%d", r.episodes, r.seed)
+	return b.String()
+}
+
+// compactJSON returns the whitespace-compacted form of raw (or the raw
+// string itself when compaction fails; validation already rejected
+// malformed scenarios).
+func compactJSON(raw json.RawMessage) string {
+	var b bytes.Buffer
+	if err := json.Compact(&b, raw); err != nil {
+		return string(raw)
+	}
+	return b.String()
+}
