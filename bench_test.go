@@ -24,6 +24,7 @@ import (
 	"satqos/internal/oaq"
 	"satqos/internal/orbit"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -277,6 +278,44 @@ func BenchmarkProtocolEpisodeCold(b *testing.B) {
 		if _, err := oaq.RunEpisode(p, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProtocolEpisodeRouted measures one full OAQ episode with
+// protocol messages carried over the multi-hop ISL fabric instead of
+// the ideal delay-δ channel, per forwarding policy, including the
+// episode's background cross-traffic. Unlike the ideal-channel hot
+// path, the routed path is not allocation-gated — per-hop queue nodes
+// come from a pool but the Poisson background arming draws fresh
+// schedule entries; what ci.sh gates is that the *ideal* path stays
+// 0 allocs/op when routing is compiled in but not enabled.
+func BenchmarkProtocolEpisodeRouted(b *testing.B) {
+	for _, policy := range route.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			rc := route.Default(policy, 10)
+			rc.TrafficLoadPerMin = 20
+			p := oaq.ReferenceParams(10, qos.SchemeOAQ)
+			p.Route = &rc
+			r, err := oaq.NewRunner(p, stats.NewRNG(1, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 300; i++ { // warmup: pools + learned routing state
+				r.Run()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := r.Run()
+				if res.Detected && res.Delivered && res.Level == qos.LevelMiss {
+					b.Fatal("delivered episode scored as miss")
+				}
+			}
+			b.StopTimer()
+			if err := r.RouteStats().CheckInvariant(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

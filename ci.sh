@@ -43,6 +43,27 @@ go run ./cmd/constsim -mode protocol -episodes 500 -loss 0.4 -retries 2 \
     -faults cmd/constsim/testdata/faults.json -workers 7 -metrics "$tmpdir/w7.json"
 go run ./cmd/metricscheck -in "$tmpdir/w1.json" -diff "$tmpdir/w7.json" des oaq crosslink fault
 
+# Routed-fabric smoke under -race, one run per forwarding policy: a
+# congested multi-hop workload with background cross-traffic exercises
+# the per-node queues, the policy state, and the packet pool's epoch
+# fencing on the race detector.
+for policy in static probabilistic qlearning; do
+    go run -race ./cmd/constsim -mode protocol -episodes 200 -k 10 \
+        -route "$policy" -traffic-load 40 -retries 1 \
+        -faults cmd/constsim/testdata/faults.json
+done
+
+# Routed determinism gate: the same routed faulted workload at 1 and 7
+# workers must dump identical simulation metrics, including the route_*
+# family (queue depths, drops, hop counts).
+go run ./cmd/constsim -mode protocol -episodes 500 -k 10 -route qlearning \
+    -traffic-load 40 -retries 1 -faults cmd/constsim/testdata/faults.json \
+    -workers 1 -metrics "$tmpdir/r1.json"
+go run ./cmd/constsim -mode protocol -episodes 500 -k 10 -route qlearning \
+    -traffic-load 40 -retries 1 -faults cmd/constsim/testdata/faults.json \
+    -workers 7 -metrics "$tmpdir/r7.json"
+go run ./cmd/metricscheck -in "$tmpdir/r1.json" -diff "$tmpdir/r7.json" des oaq crosslink route
+
 # Golden-corpus gate: the committed experiment snapshots (figures 7-9
 # and the degraded-mode sweeps) must regenerate identically at both
 # worker counts, and the comparator must fail loudly when the
@@ -78,6 +99,8 @@ go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR5.json BENCH_PR6.json
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR6.json BENCH_PR8.json
+go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
+    BENCH_PR8.json BENCH_PR9.json
 
 # Serving gate: boot satqosd on an ephemeral port with an artificially
 # tiny Monte-Carlo admission budget, then satqosload -smoke exercises
@@ -148,11 +171,13 @@ go test -run='^$' -fuzz='^FuzzParams$' -fuzztime=5s ./internal/oaq
 go test -run='^$' -fuzz='^FuzzConditionalPMF$' -fuzztime=5s ./internal/qos
 go test -run='^$' -fuzz='^FuzzGeometry$' -fuzztime=5s ./internal/qos
 go test -run='^$' -fuzz='^FuzzSnapshotDiff$' -fuzztime=5s ./cmd/metricscheck
+go test -run='^$' -fuzz='^FuzzRouteConfigJSON$' -fuzztime=5s ./internal/route
 
 # Coverage floor on the validation harness, its statistical machinery,
-# and the observability layer (metrics + span tracing): these packages
-# gate everything else, so their own statement coverage must not rot.
-go test -cover ./internal/validate ./internal/stats ./internal/obs ./internal/obs/trace |
+# the observability layer (metrics + span tracing), and the routed ISL
+# fabric: these packages gate everything else, so their own statement
+# coverage must not rot.
+go test -cover ./internal/validate ./internal/stats ./internal/obs ./internal/obs/trace ./internal/route |
     awk '/coverage:/ {
              gsub(/%/, "", $5)
              if ($5 + 0 < 75) { print "coverage below 75%:", $0; bad = 1 }

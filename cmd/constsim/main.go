@@ -29,6 +29,7 @@ import (
 	"satqos/internal/obs"
 	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -55,6 +56,9 @@ func run(args []string, w io.Writer) (err error) {
 	loss := fs.Float64("loss", 0, "crosslink message-loss probability (protocol mode)")
 	retries := fs.Int("retries", 0, "bounded retransmissions per coordination request (protocol mode; 0 disables acks)")
 	faultsPath := fs.String("faults", "", "fault-scenario JSON file replayed in every episode (protocol mode)")
+	routeArg := fs.String("route", "", "route messages over a multi-hop ISL fabric: policy name (static|probabilistic|qlearning) or route-config JSON file (protocol mode; empty = ideal delay-δ channel)")
+	islCapacity := fs.Float64("isl-capacity", 0, "override the routed ISL link capacity (packets/min)")
+	trafficLoad := fs.Float64("traffic-load", 0, "override the routed background traffic load (packets/min)")
 	eta := fs.Int("eta", 10, "threshold capacity η (capacity mode)")
 	lambda := fs.Float64("lambda", 5e-5, "per-satellite failure rate λ (1/hour, capacity mode)")
 	phi := fs.Float64("phi", 30000, "scheduled-deployment period φ (hours, capacity mode)")
@@ -138,6 +142,11 @@ func run(args []string, w io.Writer) (err error) {
 			}
 			p.Faults = s
 		}
+		rc, err := route.CLIConfig(*routeArg, *k, *islCapacity, *trafficLoad)
+		if err != nil {
+			return err
+		}
+		p.Route = rc
 		if *metrics != "" {
 			p.Metrics = obs.Default()
 		}
@@ -151,6 +160,11 @@ func run(args []string, w io.Writer) (err error) {
 		if !p.Faults.Empty() {
 			fmt.Fprintf(w, "  fault scenario %q: %d fail-silent windows, %d loss bursts, spare delay %g min\n",
 				p.Faults.Name, len(p.Faults.FailSilent), len(p.Faults.LossBursts), p.Faults.SpareDelayMin)
+		}
+		if p.Route != nil {
+			fmt.Fprintf(w, "  routed ISL fabric %q: policy %s, %dx%d grid, rate %g pkt/min, queue cap %d, background load %g pkt/min\n",
+				p.Route.Name, p.Route.Policy, p.Route.Planes, p.Route.PerPlane,
+				p.Route.ISLRatePerMin, p.Route.QueueCap, p.Route.TrafficLoadPerMin)
 		}
 		for y := qos.LevelMiss; y <= qos.LevelSimultaneousDual; y++ {
 			p := ev.PMF[y]

@@ -15,9 +15,10 @@
 // Validations: simvsana, geometry, capacity, coverage.
 // Extensions: scaling, ablation-backward, ablation-constants,
 // ablation-tc1, membership, sensitivity, mission, degraded-loss,
-// degraded-failsilent (the last two honor -retries, and -faults layers
-// a scripted fault scenario onto them and onto mission). Use -exp all
-// for everything.
+// degraded-failsilent, routed-load (the degraded pair and routed-load
+// honor -retries; -faults layers a scripted fault scenario onto them
+// and onto mission; routed-load honors -route/-isl-capacity/
+// -traffic-load). Use -exp all for everything.
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"satqos/internal/obs/trace"
 	"satqos/internal/plot"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 )
 
 func main() {
@@ -60,6 +62,7 @@ type options struct {
 	pprof    string
 	retries  int
 	faults   *fault.Scenario
+	route    *route.Config
 	trace    trace.CLI
 	tracing  *trace.Config
 }
@@ -109,7 +112,7 @@ func (o options) writeSVG(id string, s *experiment.Sweep) error {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("oaqbench", flag.ContinueOnError)
 	opt := options{}
-	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|degraded-loss|degraded-failsilent|all)")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|degraded-loss|degraded-failsilent|routed-load|all)")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&opt.svgDir, "svg", "", "also write sweep experiments as SVG charts into this directory")
 	fs.IntVar(&opt.episodes, "episodes", 20000, "episodes per cell for simulation experiments")
@@ -122,6 +125,9 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.pprof, "pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while running (e.g. localhost:6060)")
 	fs.IntVar(&opt.retries, "retries", 2, "bounded retransmissions per coordination request in the degraded-mode experiments (0 disables the hardening)")
 	faultsPath := fs.String("faults", "", "fault-scenario JSON file applied to the degraded-mode and mission experiments")
+	routeArg := fs.String("route", "", "route the routed-load experiment over this ISL policy (static|probabilistic|qlearning) or route-config JSON file (default static)")
+	islCapacity := fs.Float64("isl-capacity", 0, "override the routed ISL link capacity (packets/min)")
+	trafficLoad := fs.Float64("traffic-load", 0, "override the routed background traffic load (packets/min)")
 	opt.trace.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +143,19 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		opt.faults = s
+	}
+	{
+		arg := *routeArg
+		if arg == "" {
+			// The routed-load experiment needs a fabric even when -route
+			// was not given; everything else ignores opt.route.
+			arg = route.PolicyStatic
+		}
+		rc, err := route.CLIConfig(arg, 10, *islCapacity, *trafficLoad)
+		if err != nil {
+			return err
+		}
+		opt.route = rc
 	}
 	opt.seed = *seed
 	experiment.Workers = opt.workers
@@ -167,7 +186,7 @@ func run(args []string, w io.Writer) error {
 			"table1", "geometry", "capacity", "fig7", "fig8", "fig9", "spot",
 			"tau", "duration", "simvsana", "coverage",
 			"scaling", "ablation-backward", "ablation-constants", "ablation-tc1", "membership", "sensitivity", "mission", "availability",
-			"degraded-loss", "degraded-failsilent",
+			"degraded-loss", "degraded-failsilent", "routed-load",
 		}
 	}
 	for i, id := range ids {
@@ -350,6 +369,15 @@ func runOne(id string, opt options, w io.Writer) error {
 			return err
 		}
 		if err := opt.writeSVG("degraded-failsilent", s); err != nil {
+			return err
+		}
+		return render(s.Table())
+	case "routed-load":
+		s, err := experiment.RoutedLoadSweep(nil, *opt.route, opt.faults, 10, opt.retries, opt.episodes, opt.seed)
+		if err != nil {
+			return err
+		}
+		if err := opt.writeSVG("routed-load", s); err != nil {
 			return err
 		}
 		return render(s.Table())

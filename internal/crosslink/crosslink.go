@@ -50,23 +50,32 @@ type Handler func(now float64, msg Message)
 // Stats counts network activity. The counters obey the accounting
 // invariant
 //
-//	Sent == Delivered + DroppedLoss + DroppedFailSilent + InFlight
+//	Sent == Delivered + DroppedLoss + DroppedFailSilent + DroppedQueue + InFlight
 //
 // at every instant (see CheckInvariant); at quiescence InFlight is zero
-// and every emitted message is accounted for exactly once.
+// and every emitted message is accounted for exactly once — whether it
+// crossed the ideal delay-δ channel in one hop or a routed ISL fabric
+// in many. Multi-hop transit never multiplies counts: a message is Sent
+// once, stays a single InFlight unit across every hop, and lands in
+// exactly one terminal counter when its RouteHandle completes.
 type Stats struct {
 	// Sent counts messages actually emitted into the link. Sends from a
 	// fail-silent node are documented as "never emitted" and do NOT count
 	// here — they appear in SuppressedFailSilent instead.
 	Sent      int
 	Delivered int
-	// DroppedLoss counts messages lost to the link-loss process.
+	// DroppedLoss counts messages lost to the link-loss process (on the
+	// ideal channel: one draw per message; routed: any hop's draw).
 	DroppedLoss int
 	// DroppedFailSilent counts emitted messages that disappeared at the
 	// receiving side: addressed to a node that was fail-silent at send
 	// time, that became fail-silent while the message was in flight, or
-	// whose handler was unregistered by delivery time.
+	// whose handler was unregistered by delivery time. On a routed
+	// fabric this also covers packets swallowed by a fail-silent relay.
 	DroppedFailSilent int
+	// DroppedQueue counts routed messages dropped at a full egress FIFO.
+	// Always zero on the ideal channel, which has no queues.
+	DroppedQueue int
 	// SuppressedFailSilent counts Send calls from a fail-silent sender —
 	// never emitted, so they appear in no other counter.
 	SuppressedFailSilent int
@@ -76,12 +85,12 @@ type Stats struct {
 }
 
 // CheckInvariant verifies the accounting identity
-// Sent == Delivered + DroppedLoss + DroppedFailSilent + InFlight.
+// Sent == Delivered + DroppedLoss + DroppedFailSilent + DroppedQueue + InFlight.
 // A violation is a bookkeeping bug in this package, not a runtime
 // condition; tests call this after every scenario.
 func (s Stats) CheckInvariant() error {
-	if got := s.Delivered + s.DroppedLoss + s.DroppedFailSilent + s.InFlight; got != s.Sent {
-		return fmt.Errorf("crosslink: accounting violation: Sent=%d but Delivered+DroppedLoss+DroppedFailSilent+InFlight=%d (%+v)",
+	if got := s.Delivered + s.DroppedLoss + s.DroppedFailSilent + s.DroppedQueue + s.InFlight; got != s.Sent {
+		return fmt.Errorf("crosslink: accounting violation: Sent=%d but Delivered+DroppedLoss+DroppedFailSilent+DroppedQueue+InFlight=%d (%+v)",
 			s.Sent, got, s)
 	}
 	return nil
@@ -118,6 +127,97 @@ type Network struct {
 	// tracer, when non-nil, records message-lifetime spans and drop
 	// events (see SetTracer).
 	tracer *trace.Recorder
+	// router, when non-nil, replaces the ideal delay-δ channel: emitted
+	// messages are handed to it as routed packets (see SetRouter).
+	router Router
+}
+
+// Router is the pluggable transport behind Send. The ideal delay-δ
+// channel is the built-in default; a multi-hop ISL fabric (package
+// route) implements this interface to carry messages hop by hop
+// instead. The router owns the packet's journey and must call
+// h.Complete exactly once per Route call — that is what keeps the
+// Stats conservation invariant exact across any number of hops.
+type Router interface {
+	// Route carries one emitted message from node `from` toward node
+	// `to`. The handle is the message's crosslink envelope; the router
+	// finishes it with h.Complete (delivered or dropped with a cause).
+	Route(h RouteHandle, from, to NodeID, kind string)
+	// NodeFailSilent mirrors SetFailSilent transitions into the router
+	// so in-network relays can start (or stop) swallowing packets.
+	// Called only on actual state changes, once per transition.
+	NodeFailSilent(id NodeID, silent bool)
+}
+
+// RouteHandle is the crosslink side of one routed message: the pooled
+// delivery envelope plus the accounting hooks the router needs. The
+// zero value is invalid; handles are minted by Send and must be
+// completed exactly once.
+type RouteHandle struct {
+	n *Network
+	d *delivery
+}
+
+// LossProb returns the loss probability currently in effect on the
+// owning network. Routers read it at each transmission so scripted
+// loss bursts (SetLossProb) apply per hop, not per message.
+func (h RouteHandle) LossProb() float64 { return h.n.lossProb }
+
+// Complete finishes the routed message: cause 0 delivers it to the
+// destination's handler (late fail-silence still drops it), and the
+// Drop* causes account it to the matching counter. The envelope is
+// recycled first and the epoch fence applied exactly as on the ideal
+// path, so a Reset between Send and Complete makes this a silent
+// no-op that still returns the envelope to the freelist.
+func (h RouteHandle) Complete(now float64, hops int, cause int) {
+	n, d := h.n, h.d
+	msg, live, span := d.msg, d.epoch == n.epoch, d.span
+	if n.pooling {
+		d.msg = Message{} // drop the payload reference before recycling
+		d.span = 0
+		n.free = append(n.free, d)
+	}
+	if !live {
+		return
+	}
+	n.stats.InFlight--
+	switch cause {
+	case DropLoss:
+		n.stats.DroppedLoss++
+		if n.tracer != nil {
+			n.tracer.EndArg(span, now, DropLoss)
+		}
+		return
+	case DropFailSilent:
+		n.stats.DroppedFailSilent++
+		if n.tracer != nil {
+			n.tracer.EndArg(span, now, DropFailSilent)
+		}
+		return
+	case DropQueue:
+		n.stats.DroppedQueue++
+		if n.tracer != nil {
+			n.tracer.EndArg(span, now, DropQueue)
+		}
+		return
+	}
+	// Fail-silence at the destination may have begun while the packet
+	// was crossing the fabric.
+	if n.FailSilent(msg.To) || n.handlerOf(msg.To) == nil {
+		n.stats.DroppedFailSilent++
+		if n.tracer != nil {
+			n.tracer.EndArg(span, now, DropLateFailSilent)
+		}
+		return
+	}
+	n.stats.Delivered++
+	n.delayHist.Observe(now - msg.SentAt)
+	if n.tracer != nil {
+		n.tracer.Link(span)
+		n.tracer.EndArg(span, now, float64(hops))
+	}
+	fn := n.handlerOf(msg.To)
+	fn(now, msg)
 }
 
 // Drop cause codes recorded as the Arg of KindDrop trace events.
@@ -132,6 +232,8 @@ const (
 	// DropLateFailSilent: the receiver became fail-silent (or lost its
 	// handler) while the message was in flight.
 	DropLateFailSilent = 4
+	// DropQueue: a routed message arrived at a full egress FIFO.
+	DropQueue = 5
 )
 
 // delivery is one in-flight message envelope: the unit the message
@@ -305,13 +407,29 @@ func (n *Network) Register(id NodeID, h Handler) error {
 	return nil
 }
 
+// SetRouter installs (or with nil, removes) the transport behind Send:
+// non-nil routes every emitted message over the router's fabric instead
+// of the ideal delay-δ channel. The router is orthogonal to Reset —
+// resetting the network fences its in-flight envelopes but does not
+// touch router state; callers that reset the network for a fresh
+// episode reset their fabric alongside it.
+func (n *Network) SetRouter(r Router) { n.router = r }
+
 // SetFailSilent marks or unmarks a node as fail-silent: it neither sends
 // nor processes messages, without any indication to its peers — the
 // failure mode the backward-messaging variant of the protocol tolerates.
+// Actual transitions are mirrored into the attached router, if any, so
+// a fail-silent satellite also stops relaying other nodes' packets.
 func (n *Network) SetFailSilent(id NodeID, silent bool) {
 	i := slot(id)
 	n.growTo(i)
+	if n.failSilent[i] == silent {
+		return
+	}
 	n.failSilent[i] = silent
+	if n.router != nil {
+		n.router.NodeFailSilent(id, silent)
+	}
 }
 
 // FailSilent reports the node's current failure state.
@@ -322,7 +440,8 @@ func (n *Network) FailSilent(id NodeID) bool {
 	return false
 }
 
-// Send queues a message for delivery after a uniform delay in (0, δ].
+// Send queues a message for delivery after a uniform delay in (0, δ] —
+// or, when a router is attached, hands it to the routed ISL fabric.
 // Messages from fail-silent nodes are never emitted (counted as
 // suppressed); messages to fail-silent nodes and messages hit by the
 // loss process disappear silently (counted as dropped). Sending to an
@@ -340,6 +459,16 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 		return nil
 	}
 	n.stats.Sent++
+	if n.router != nil {
+		// Routed path: loss, relay fail-silence, and destination
+		// fail-silence all happen inside the fabric or at Complete —
+		// a receiver that is fail-silent now may have recovered by the
+		// time the packet crosses the constellation.
+		n.stats.InFlight++
+		d := n.newDelivery(from, to, kind, payload)
+		n.router.Route(RouteHandle{n: n, d: d}, from, to, kind)
+		return nil
+	}
 	if n.FailSilent(to) {
 		n.stats.DroppedFailSilent++
 		if n.tracer != nil {
@@ -356,6 +485,15 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	}
 	delay := n.delta * (1 - n.rng.Float64()) // in (0, δ]
 	n.stats.InFlight++
+	d := n.newDelivery(from, to, kind, payload)
+	n.sim.ScheduleCall(delay, n.kindLabel(kind), deliverEvent, d)
+	return nil
+}
+
+// newDelivery draws an envelope from the freelist (or allocates one)
+// and stamps it with the message, the live epoch, and an in-flight
+// message span when tracing.
+func (n *Network) newDelivery(from, to NodeID, kind string, payload any) *delivery {
 	var d *delivery
 	if m := len(n.free); m > 0 {
 		d = n.free[m-1]
@@ -371,8 +509,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	if n.tracer != nil {
 		d.span = n.tracer.Async(trace.KindMessage, n.kindLabel(kind), int32(from), n.sim.Now())
 	}
-	n.sim.ScheduleCall(delay, n.kindLabel(kind), deliverEvent, d)
-	return nil
+	return d
 }
 
 // kindLabel memoizes the diagnostic event label for a message kind; the

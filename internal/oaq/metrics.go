@@ -28,7 +28,12 @@ type shardMetrics struct {
 
 	linkSent, linkDelivered           uint64
 	linkDroppedLoss, linkDroppedFails uint64
-	linkSuppressed                    uint64
+	linkDroppedQueue, linkSuppressed  uint64
+
+	// Routed-fabric counters (zero when Params.Route is nil).
+	routeInjected, routeBackground, routeDelivered         uint64
+	routeDroppedQueue, routeDroppedLoss, routeDroppedFails uint64
+	routeHops, routeMaxHops                                uint64
 
 	// Protocol-hardening and fault-injection counters: request
 	// retransmissions and acknowledgements (the RequestRetries option)
@@ -38,6 +43,7 @@ type shardMetrics struct {
 
 	alertLatency *obs.LocalHistogram
 	linkDelay    *obs.LocalHistogram
+	queueDelay   *obs.LocalHistogram
 }
 
 // Shared bucket layouts: every shard's local histograms use the same
@@ -46,12 +52,14 @@ type shardMetrics struct {
 var (
 	alertLatencyBounds = obs.MinuteBuckets
 	linkDelayBounds    = obs.MinuteBuckets
+	queueDelayBounds   = obs.MinuteBuckets
 )
 
 func newShardMetrics() *shardMetrics {
 	return &shardMetrics{
 		alertLatency: obs.NewLocalHistogram(alertLatencyBounds),
 		linkDelay:    obs.NewLocalHistogram(linkDelayBounds),
+		queueDelay:   obs.NewLocalHistogram(queueDelayBounds),
 	}
 }
 
@@ -96,7 +104,22 @@ func (m *shardMetrics) recordEpisode(e *episode, res *EpisodeResult) {
 		m.linkDelivered += uint64(st.Delivered)
 		m.linkDroppedLoss += uint64(st.DroppedLoss)
 		m.linkDroppedFails += uint64(st.DroppedFailSilent)
+		m.linkDroppedQueue += uint64(st.DroppedQueue)
 		m.linkSuppressed += uint64(st.SuppressedFailSilent)
+	}
+
+	if e.fab != nil {
+		rs := e.fab.Stats()
+		m.routeInjected += uint64(rs.Injected)
+		m.routeBackground += uint64(rs.Background)
+		m.routeDelivered += uint64(rs.Delivered)
+		m.routeDroppedQueue += uint64(rs.DroppedQueue)
+		m.routeDroppedLoss += uint64(rs.DroppedLoss)
+		m.routeDroppedFails += uint64(rs.DroppedFailSilent)
+		m.routeHops += uint64(rs.HopsSum)
+		if mh := uint64(rs.MaxHops); mh > m.routeMaxHops {
+			m.routeMaxHops = mh
+		}
 	}
 }
 
@@ -127,13 +150,25 @@ func (m *shardMetrics) merge(o *shardMetrics) {
 	m.linkDelivered += o.linkDelivered
 	m.linkDroppedLoss += o.linkDroppedLoss
 	m.linkDroppedFails += o.linkDroppedFails
+	m.linkDroppedQueue += o.linkDroppedQueue
 	m.linkSuppressed += o.linkSuppressed
+	m.routeInjected += o.routeInjected
+	m.routeBackground += o.routeBackground
+	m.routeDelivered += o.routeDelivered
+	m.routeDroppedQueue += o.routeDroppedQueue
+	m.routeDroppedLoss += o.routeDroppedLoss
+	m.routeDroppedFails += o.routeDroppedFails
+	m.routeHops += o.routeHops
+	if o.routeMaxHops > m.routeMaxHops {
+		m.routeMaxHops = o.routeMaxHops
+	}
 	m.retransmits += o.retransmits
 	m.acks += o.acks
 	m.faultWindows += o.faultWindows
 	m.faultBursts += o.faultBursts
 	m.alertLatency.Merge(o.alertLatency)
 	m.linkDelay.Merge(o.linkDelay)
+	m.queueDelay.Merge(o.queueDelay)
 }
 
 // publish registers and adds every metric family into the registry. The
@@ -182,10 +217,25 @@ func (m *shardMetrics) publish(r *obs.Registry) {
 	r.Counter("crosslink_hops_total", "Crosslink hops traversed (each delivered point-to-point message is one hop).").Add(m.linkDelivered)
 	r.Counter("crosslink_dropped_loss_total", "Messages lost to the link-loss process.").Add(m.linkDroppedLoss)
 	r.Counter("crosslink_dropped_failsilent_total", "Messages swallowed by fail-silent endpoints.").Add(m.linkDroppedFails)
+	r.Counter("crosslink_dropped_queue_total", "Messages dropped at a full routed egress queue (zero on the ideal channel).").Add(m.linkDroppedQueue)
 	r.Counter("crosslink_suppressed_failsilent_total", "Sends from fail-silent nodes, never emitted into the link.").Add(m.linkSuppressed)
 	r.Histogram("crosslink_delivery_delay_minutes",
 		"Inter-satellite message delivery delay (simulation minutes).",
 		linkDelayBounds).AddLocal(m.linkDelay)
+
+	// Routed-fabric families, registered even when routing is off so
+	// snapshots of equal workloads have equal metric sets.
+	r.Counter("route_packets_injected_total", "Packets injected into the routed ISL fabric (protocol + background).").Add(m.routeInjected)
+	r.Counter("route_background_packets_total", "Background cross-traffic packets injected into the fabric.").Add(m.routeBackground)
+	r.Counter("route_packets_delivered_total", "Fabric packets that reached their destination node.").Add(m.routeDelivered)
+	r.Counter("route_dropped_queue_total", "Fabric packets dropped at a full egress FIFO.").Add(m.routeDroppedQueue)
+	r.Counter("route_dropped_loss_total", "Fabric packets lost to a per-hop loss draw.").Add(m.routeDroppedLoss)
+	r.Counter("route_dropped_failsilent_total", "Fabric packets swallowed by fail-silent nodes.").Add(m.routeDroppedFails)
+	r.Counter("route_hops_total", "ISL hops traversed by delivered fabric packets.").Add(m.routeHops)
+	r.Gauge("route_hops_max", "Largest single-packet hop count (bounded by the topology diameter).").SetMax(int64(m.routeMaxHops))
+	r.Histogram("route_queue_delay_minutes",
+		"Total queue wait of delivered fabric packets (simulation minutes).",
+		queueDelayBounds).AddLocal(m.queueDelay)
 }
 
 // note counts one protocol event by kind. It is the metric counterpart
@@ -204,7 +254,13 @@ func (r *episodeRunner) setMetrics(m *shardMetrics) {
 	r.ep.obs = m
 	if m != nil {
 		r.ep.net.SetDelayHistogram(m.linkDelay)
+		if r.ep.fab != nil {
+			r.ep.fab.SetQueueDelayHistogram(m.queueDelay)
+		}
 	} else {
 		r.ep.net.SetDelayHistogram(nil)
+		if r.ep.fab != nil {
+			r.ep.fab.SetQueueDelayHistogram(nil)
+		}
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"satqos/internal/obs"
 	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -98,6 +99,13 @@ type Params struct {
 	// delayed spare deployment. Scenario time zero is the episode's
 	// detection time t0.
 	Faults *fault.Scenario
+	// Route, when non-nil, backs both crosslink networks with a routed
+	// multi-hop ISL fabric (package route): messages queue at per-node
+	// FIFOs, pay transmission and propagation delay per hop, contend
+	// with the configured background cross-traffic, and are forwarded by
+	// the configured policy. Nil keeps the paper's ideal delay-δ
+	// channel.
+	Route *route.Config
 	// MembershipAware integrates the §5 follow-on: when expanding the
 	// chain, a satellite consults its membership view of the plane (the
 	// protocol of internal/membership) and addresses the coordination
@@ -201,6 +209,11 @@ func (p Params) Validate() error {
 	}
 	if p.Faults != nil {
 		if err := p.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Route != nil {
+		if err := p.Route.Validate(); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"satqos/internal/fault"
 	"satqos/internal/obs/trace"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -71,7 +72,11 @@ type episode struct {
 	// stated for the alert having been *sent*).
 	net    *crosslink.Network
 	ground *crosslink.Network
-	rng    *stats.RNG
+	// fab, when non-nil, is the routed ISL fabric backing both networks
+	// (Params.Route): messages cross the constellation hop by hop
+	// through shared queues instead of the ideal channel.
+	fab *route.Fabric
+	rng *stats.RNG
 	// obs is the shard's metric accumulator (nil when metrics are
 	// disabled; see metrics.go).
 	obs *shardMetrics
@@ -342,7 +347,10 @@ func (s *satellite) onMessage(now float64, msg crosslink.Message) {
 		if !s.ep.p.BackwardMessaging {
 			// Terminal-responsibility guard: whoever holds the freshest
 			// result must get *something* to the ground by the deadline.
-			s.ep.sim.ScheduleCallAt(s.ep.deadline, "no-backward-guard", noBackwardGuardEvent, s)
+			// Queueing on a routed fabric can deliver a request after the
+			// deadline (the ideal channel's δ bound no longer holds), in
+			// which case the guard fires immediately.
+			s.ep.sim.ScheduleCallAt(math.Max(now, s.ep.deadline), "no-backward-guard", noBackwardGuardEvent, s)
 		}
 	case kindAck:
 		s.ackedForward = true
@@ -546,7 +554,12 @@ func (s *satellite) armAckTimeout(to crosslink.NodeID, attempt int) {
 		// appear as events inside it.
 		s.awaitSpan = e.rec.Async(trace.KindAwait, "await-ack", int32(s.id), e.sim.Now())
 	}
-	at := math.Min(e.sim.Now()+2*e.p.DeltaMin, e.deadline)
+	// The clamp to "now" is defensive: TC-2 fires strictly before the
+	// deadline, so today every forward (and every retransmit, via the
+	// window check) arms with time to spare — but routed queueing already
+	// voided one δ-bound assumption here, and a past-time schedule
+	// panics the kernel.
+	at := math.Max(e.sim.Now(), math.Min(e.sim.Now()+2*e.p.DeltaMin, e.deadline))
 	e.sim.ScheduleCallAt(at, "ack-timeout", ackTimeoutEvent, s)
 }
 
@@ -634,12 +647,24 @@ func newEpisodeRunner(p Params, rng *stats.RNG) (*episodeRunner, error) {
 	// recycling is safe — and keeps steady-state sends allocation-free.
 	net.EnableMessagePooling()
 	ground.EnableMessagePooling()
+	var fab *route.Fabric
+	if p.Route != nil {
+		fab, err = route.NewFabric(sim, *p.Route, rng)
+		if err != nil {
+			return nil, err
+		}
+		// One fabric backs both networks: protocol crosslinks and alert
+		// downlinks share the ISL queues.
+		net.SetRouter(fab)
+		ground.SetRouter(fab)
+	}
 	r := &episodeRunner{}
 	r.ep = episode{
 		p:       p,
 		sim:     sim,
 		net:     net,
 		ground:  ground,
+		fab:     fab,
 		rng:     rng,
 		l1:      tr,
 		tc:      p.Geom.TcMin,
@@ -661,6 +686,9 @@ func (r *episodeRunner) run() EpisodeResult {
 	e.sim.Reset()
 	e.net.Reset()
 	e.ground.Reset()
+	if e.fab != nil {
+		e.fab.Reset()
+	}
 	// Unhook the previous episode's satellites from the index (each pool
 	// entry knows its own slot, so this is O(live satellites), not
 	// O(buffer)).
@@ -752,6 +780,13 @@ func (r *episodeRunner) run() EpisodeResult {
 		}
 	}
 
+	// Background cross-traffic contends with the protocol for the ISL
+	// queues from detection until the post-deadline drain. Armed at a
+	// fixed point in the episode's RNG stream, after the fault agenda.
+	if e.fab != nil {
+		e.fab.ArmBackground(e.t0, e.deadline+e.tc)
+	}
+
 	// First-response logic at t0.
 	e.sim.ScheduleCallAt(e.t0, "detection", detectionEvent, e)
 
@@ -814,6 +849,26 @@ func (r *episodeRunner) rebind(p Params, rng *stats.RNG) error {
 	}
 	if err := e.ground.Reconfigure(crosslink.Config{MaxDelayMin: p.DeltaMin}, rng); err != nil {
 		return err
+	}
+	switch {
+	case p.Route == nil:
+		e.fab = nil
+		e.net.SetRouter(nil)
+		e.ground.SetRouter(nil)
+	case e.fab != nil:
+		if err := e.fab.Rebind(*p.Route, rng); err != nil {
+			return err
+		}
+		e.net.SetRouter(e.fab)
+		e.ground.SetRouter(e.fab)
+	default:
+		fab, err := route.NewFabric(e.sim, *p.Route, rng)
+		if err != nil {
+			return err
+		}
+		e.fab = fab
+		e.net.SetRouter(fab)
+		e.ground.SetRouter(fab)
 	}
 	e.p = p
 	e.rng = rng
@@ -889,6 +944,25 @@ func NewRunner(p Params, rng *stats.RNG) (*Runner, error) {
 
 // Run simulates the next signal episode, drawing from the Runner's RNG.
 func (r *Runner) Run() EpisodeResult { return r.r.run() }
+
+// RouteStats returns the routed fabric's counters for the most recent
+// episode (the fabric resets per episode), or the zero Stats when the
+// parameters did not enable routing.
+func (r *Runner) RouteStats() route.Stats {
+	if r.r.ep.fab == nil {
+		return route.Stats{}
+	}
+	return r.r.ep.fab.Stats()
+}
+
+// RouteDiameter returns the routed topology's graph diameter (the hop
+// bound of the no-forwarding-loop invariant), or 0 when routing is off.
+func (r *Runner) RouteDiameter() int {
+	if r.r.ep.fab == nil {
+		return 0
+	}
+	return r.r.ep.fab.Topology().Diameter()
+}
 
 // PublishMetrics flushes the episodes accumulated so far into the
 // Params' metrics registry (a no-op when metrics are disabled). Call it

@@ -1,0 +1,65 @@
+package oaq
+
+import (
+	"testing"
+
+	"satqos/internal/qos"
+	"satqos/internal/route"
+	"satqos/internal/stats"
+)
+
+// congestedRouteParams is a deliberately overloaded fabric: 6 pkt/min
+// links under 60 pkt/min of background load queue coordination requests
+// long enough that some arrive after the episode deadline — the regime
+// that used to panic the terminal-responsibility guard with a past-time
+// schedule.
+func congestedRouteParams(policy string) Params {
+	rc := route.Default(policy, 10)
+	rc.ISLRatePerMin = 6
+	rc.TrafficLoadPerMin = 60
+	p := ReferenceParams(10, qos.SchemeOAQ)
+	p.Route = &rc
+	return p
+}
+
+// TestCongestedRoutedRequestPastDeadline is a regression test for the
+// past-deadline scheduling bug class: on an ideal delay-δ channel every
+// protocol message arrives within δ, so the no-backward guard armed on
+// request arrival could schedule at the absolute deadline unchecked.
+// Routed queueing breaks that bound — a request can arrive after τ has
+// expired — and the guard must clamp to "now" instead of panicking the
+// kernel. Seed (1, 0) over 400 episodes reproduced the panic for all
+// three policies before the clamp.
+func TestCongestedRoutedRequestPastDeadline(t *testing.T) {
+	for _, policy := range route.PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			p := congestedRouteParams(policy)
+			r, err := NewRunner(p, stats.NewRNG(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ep := 0; ep < 400; ep++ {
+				r.Run()
+				if err := r.RouteStats().CheckInvariant(); err != nil {
+					t.Fatalf("episode %d: %v", ep, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCongestedRoutedRetriesPastDeadline drives the same overload with
+// retransmissions enabled, covering the ack-timeout arm (its clamp is
+// defensive — TC-2 keeps forwards strictly before the deadline — but
+// the congested retry path must stay panic-free regardless).
+func TestCongestedRoutedRetriesPastDeadline(t *testing.T) {
+	p := congestedRouteParams(route.PolicyStatic)
+	p.RequestRetries = 2
+	r, err := NewRunner(p, stats.NewRNG(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 400; ep++ {
+		r.Run()
+	}
+}

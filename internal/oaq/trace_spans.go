@@ -63,7 +63,8 @@ func (e *episode) finishTrace(res *EpisodeResult, endAt float64) {
 	violated := false
 	if e.rec.WantInvariant() {
 		violated = e.net.Stats().CheckInvariant() != nil ||
-			e.ground.Stats().CheckInvariant() != nil
+			e.ground.Stats().CheckInvariant() != nil ||
+			(e.fab != nil && e.fab.Stats().CheckInvariant() != nil)
 	}
 	e.rec.FinishEpisode(trace.Outcome{
 		Detected:           res.Detected,

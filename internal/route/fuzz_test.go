@@ -1,0 +1,55 @@
+package route
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRouteConfigJSON drives the route-config parser with arbitrary
+// bytes: Parse must never panic or hang (malformed ISLs, disconnected
+// graphs, zero-capacity links, and overflowing grids all reject
+// cleanly), and any configuration it accepts must satisfy its own
+// Validate and survive a marshal → Parse → marshal round trip
+// byte-identically — the canonical-form contract committed config files
+// rely on. Comparing re-encodings rather than structs sidesteps the one
+// legal asymmetry: "extra_isls": [] decodes to an empty non-nil slice
+// that re-encodes as absent.
+func FuzzRouteConfigJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policy":"static","planes":3,"per_plane":4,"isl_rate_per_min":60,"queue_cap":4}`))
+	f.Add([]byte(`{"name":"wrapped","policy":"probabilistic","planes":4,"per_plane":3,"plane_wrap":true,"isl_rate_per_min":20,"prop_delay_min":0.005,"queue_cap":16,"traffic_load_per_min":30}`))
+	f.Add([]byte(`{"policy":"qlearning","planes":2,"per_plane":5,"isl_rate_per_min":10,"queue_cap":2,"epsilon":0.2,"alpha":0.5,"gateway_plane":1,"gateway_index":4}`))
+	f.Add([]byte(`{"policy":"static","planes":1,"per_plane":8,"isl_rate_per_min":5,"queue_cap":1,"extra_isls":[{"a":0,"b":4}],"disabled_isls":[{"a":0,"b":1}]}`))
+	f.Add([]byte(`{"policy":"static","planes":2,"per_plane":3,"no_cross_plane":true,"isl_rate_per_min":10,"queue_cap":2}`))
+	f.Add([]byte(`{"policy":"static","planes":3,"per_plane":4,"isl_rate_per_min":0,"queue_cap":4}`))
+	f.Add([]byte(`{"policy":"static","planes":4611686018427387904,"per_plane":4,"isl_rate_per_min":10,"queue_cap":1}`))
+	f.Add([]byte(`{"policy":"static","planes":1,"per_plane":4,"isl_rate_per_min":10,"queue_cap":1,"extra_isls":[{"a":2,"b":2}]}`))
+	f.Add([]byte(`{"policy":"flooding","planes":3,"per_plane":4,"isl_rate_per_min":60,"queue_cap":4}`))
+	f.Add([]byte(`{"unknown_knob":true}`))
+	f.Add([]byte(`{"policy":"static","planes":3,"per_plane":4,"isl_rate_per_min":1e999,"queue_cap":4}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return // rejected input; only the absence of panics matters
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse accepted a config its own Validate rejects: %v\ninput: %s", err, data)
+		}
+		enc, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted config does not re-encode: %v", err)
+		}
+		c2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded config rejected: %v\nencoding: %s", err, enc)
+		}
+		enc2, err := json.Marshal(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("round trip not canonical:\n  first  %s\n  second %s", enc, enc2)
+		}
+	})
+}

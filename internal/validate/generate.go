@@ -8,6 +8,7 @@ import (
 	"satqos/internal/mission"
 	"satqos/internal/oaq"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -102,6 +103,50 @@ func (g *Gen) Scenario() *fault.Scenario {
 		panic(fmt.Sprintf("validate: generator drew invalid scenario: %v", err))
 	}
 	return s
+}
+
+// RouteConfig draws a valid routed-ISL network: grids from a single
+// ring up to 4×8, all three forwarding policies, link rates and queue
+// capacities spanning uncongested to heavily congested regimes, and
+// occasional structural overrides (plane wrap, an extra ISL). Disabled
+// ISLs are never drawn — removing random links can disconnect the
+// graph, and the generator's contract is valid-by-construction.
+func (g *Gen) RouteConfig() route.Config {
+	planes := g.intn(1, 4)
+	perPlane := g.intn(2, 8)
+	c := route.Config{
+		Name:              fmt.Sprintf("gen-route-%d", g.rng.Intn(1<<16)),
+		Policy:            route.PolicyNames()[g.intn(0, 2)],
+		Planes:            planes,
+		PerPlane:          perPlane,
+		ISLRatePerMin:     g.uniform(5, 200),
+		PropDelayMin:      g.uniform(0, 0.02),
+		QueueCap:          g.intn(1, 8),
+		TrafficLoadPerMin: g.uniform(0, 50),
+		GatewayPlane:      g.intn(0, planes-1),
+		GatewayIndex:      g.intn(0, perPlane-1),
+	}
+	if planes == 1 && g.rng.Float64() < 0.5 {
+		c.NoCrossPlane = true // a no-op on one plane, but a valid knob
+	}
+	if planes > 2 && g.rng.Float64() < 0.5 {
+		c.PlaneWrap = true
+	}
+	if g.rng.Float64() < 0.5 {
+		c.Epsilon = g.uniform(0, 1)
+		c.Alpha = g.uniform(0.01, 1)
+	}
+	if n := c.Nodes(); n >= 4 && g.rng.Float64() < 0.4 {
+		a := g.intn(0, n-1)
+		b := g.intn(0, n-1)
+		if a != b {
+			c.ExtraISLs = append(c.ExtraISLs, route.ISL{A: a, B: b})
+		}
+	}
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid route config: %v", err))
+	}
+	return c
 }
 
 // MissionConfig draws a valid end-to-end mission configuration around

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 
 	"satqos/internal/experiment"
+	"satqos/internal/fault"
+	"satqos/internal/route"
 	"satqos/internal/stats"
 )
 
@@ -145,7 +147,45 @@ func CompareGolden(got, want *Golden) error {
 const (
 	GoldenEpisodes = 3000
 	GoldenSeed     = 2003
+	// RoutedGoldenEpisodes is the smaller per-point budget of the routed
+	// snapshots: a routed episode also simulates every background packet
+	// hop by hop, so the same wall-clock budget buys fewer episodes.
+	RoutedGoldenEpisodes = 1500
 )
+
+// routedGoldenLoads is the traffic-load axis of the routed snapshots:
+// idle, moderately, and heavily congested. At the snapshot's 3 pkt/min
+// link rate the top load saturates the fabric — delivery by deadline
+// falls from ~0.996 to ~0.48 across the axis, so the curve actually
+// exercises queueing, not just the routed delivery path.
+func routedGoldenLoads() []float64 { return []float64{0, 60, 180} }
+
+// routedGoldenScenario is the degraded-mode fault timeline layered on
+// the routed Q-learning snapshot: a loss burst over the early episode
+// (applied per hop on the fabric) plus a fail-silent relay window.
+func routedGoldenScenario() *fault.Scenario {
+	return &fault.Scenario{
+		Name:       "routed-degraded",
+		FailSilent: []fault.FailSilentWindow{{Sat: 3, StartMin: 1, EndMin: 6}},
+		LossBursts: []fault.LossBurst{{StartMin: 0, EndMin: 4, Prob: 0.3}},
+	}
+}
+
+// routedGoldenSpec builds one routed Monte-Carlo spec: a 7×10
+// Walker-star fabric under the given policy with links throttled to
+// 3 pkt/min, swept over the routed load axis with hardened retries = 2.
+// k = 10 matches the corpus' other degraded-mode sweeps and keeps the
+// sequential-dual level reachable.
+func routedGoldenSpec(policy string, scenario *fault.Scenario) GoldenSpec {
+	return GoldenSpec{
+		Name: "routed-" + policy, Kind: KindMonteCarlo, Episodes: RoutedGoldenEpisodes,
+		Generate: func() (*experiment.Sweep, error) {
+			rc := route.Default(policy, 10)
+			rc.ISLRatePerMin = 3
+			return experiment.RoutedLoadSweep(routedGoldenLoads(), rc, scenario, 10, 2, RoutedGoldenEpisodes, GoldenSeed)
+		},
+	}
+}
 
 // GoldenSpec couples a snapshot name to its regeneration recipe so the
 // golden test's -update flow, the in-repo regression test, and
@@ -198,6 +238,12 @@ func GoldenSpecs() []GoldenSpec {
 				return experiment.DegradedFailSilentSweep(nil, 10, 2, GoldenEpisodes, GoldenSeed)
 			},
 		},
+		// One routed snapshot per forwarding policy. The Q-learning one
+		// carries a degraded-mode fault scenario so per-hop loss bursts
+		// and fail-silent relays are covered by the corpus too.
+		routedGoldenSpec(route.PolicyStatic, nil),
+		routedGoldenSpec(route.PolicyProbabilistic, nil),
+		routedGoldenSpec(route.PolicyQLearning, routedGoldenScenario()),
 	}
 }
 

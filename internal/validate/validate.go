@@ -36,6 +36,7 @@ import (
 	"satqos/internal/experiment"
 	"satqos/internal/oaq"
 	"satqos/internal/qos"
+	"satqos/internal/route"
 )
 
 // probTol is the slack allowed on probability identities that are exact
@@ -164,8 +165,9 @@ func CheckEvaluation(ev *oaq.Evaluation) error {
 func CheckCrosslink(s crosslink.Stats) error {
 	for name, v := range map[string]int{
 		"Sent": s.Sent, "Delivered": s.Delivered, "DroppedLoss": s.DroppedLoss,
-		"DroppedFailSilent": s.DroppedFailSilent, "SuppressedFailSilent": s.SuppressedFailSilent,
-		"InFlight": s.InFlight,
+		"DroppedFailSilent": s.DroppedFailSilent, "DroppedQueue": s.DroppedQueue,
+		"SuppressedFailSilent": s.SuppressedFailSilent,
+		"InFlight":             s.InFlight,
 	} {
 		if v < 0 {
 			return fmt.Errorf("validate: crosslink counter %s = %d negative", name, v)
@@ -176,6 +178,44 @@ func CheckCrosslink(s crosslink.Stats) error {
 	}
 	if s.InFlight != 0 {
 		return fmt.Errorf("validate: %d messages still in flight at quiescence (%+v)", s.InFlight, s)
+	}
+	return nil
+}
+
+// CheckRoute verifies the routed ISL fabric's packet-conservation
+// identity Injected == Delivered + DroppedQueue + DroppedLoss +
+// DroppedFailSilent + InFlight, nonnegative counters, sane hop and
+// queue-delay aggregates, and the no-forwarding-loop invariant: no
+// delivered packet took more hops than the topology diameter (policies
+// forward only along strictly distance-decreasing links, so a longer
+// path means a loop). Valid mid-episode as well as at quiescence —
+// InFlight is part of the identity, not required to be zero.
+func CheckRoute(s route.Stats, diameter int) error {
+	for name, v := range map[string]int{
+		"Injected": s.Injected, "Background": s.Background, "Delivered": s.Delivered,
+		"DroppedQueue": s.DroppedQueue, "DroppedLoss": s.DroppedLoss,
+		"DroppedFailSilent": s.DroppedFailSilent, "InFlight": s.InFlight,
+		"HopsSum": s.HopsSum, "MaxHops": s.MaxHops,
+	} {
+		if v < 0 {
+			return fmt.Errorf("validate: route counter %s = %d negative", name, v)
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return err
+	}
+	if s.Background > s.Injected {
+		return fmt.Errorf("validate: background packets %d exceed injected %d", s.Background, s.Injected)
+	}
+	if s.MaxHops > diameter {
+		return fmt.Errorf("validate: max hops %d exceeds the topology diameter %d (forwarding loop)",
+			s.MaxHops, diameter)
+	}
+	if s.Delivered > 0 && s.MaxHops > 0 && s.HopsSum < 1 {
+		return fmt.Errorf("validate: hop sum %d inconsistent with max hops %d", s.HopsSum, s.MaxHops)
+	}
+	if math.IsNaN(s.QueueDelaySum) || s.QueueDelaySum < 0 {
+		return fmt.Errorf("validate: queue-delay sum %g negative or NaN", s.QueueDelaySum)
 	}
 	return nil
 }
