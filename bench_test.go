@@ -26,6 +26,7 @@ import (
 	"satqos/internal/qos"
 	"satqos/internal/route"
 	"satqos/internal/stats"
+	"satqos/internal/stochgeom"
 )
 
 // BenchmarkTable1 regenerates Table 1 (QoS levels vs geometric
@@ -398,6 +399,96 @@ func BenchmarkCoverageScan(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStochGeom measures the stochastic-geometry backend's
+// Starlink-preset P(K = k) point query — one cap integral plus one
+// log-space binomial term, O(1) in time steps and fleet positions —
+// against /scan-estimate, the empirical answer the exact engine gives
+// for the same quantity: the fast SoA scanner swept over the
+// cross-validation harness's sampling grid (16 longitudes x 256 times,
+// the grid experiment.StochGeomCheck estimates P(K = k) on). The
+// acceptance target is the analytic query at >= 100x the scan
+// estimate; the committed numbers live in BENCH_PR10.json.
+func BenchmarkStochGeom(b *testing.B) {
+	d, err := stochgeom.FromPreset(constellation.PresetStarlink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	latDeg := 53.0
+	lat := latDeg * math.Pi / 180
+	b.Run("pvisible", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := d.PVisible(16, lat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p <= 0 || p >= 1 {
+				b.Fatal("degenerate point probability")
+			}
+		}
+	})
+	b.Run("scan-estimate", func(b *testing.B) {
+		cfg, err := constellation.PresetConfig(constellation.PresetStarlink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := constellation.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := constellation.NewScanner(c)
+		const lons, steps = 16, 256
+		horizon := 7 * cfg.PeriodMin
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for li := 0; li < lons; li++ {
+				target := orbit.LatLon{Lat: lat, Lon: 2 * math.Pi * float64(li) / lons}
+				for step := 0; step < steps; step++ {
+					if s.CoverageCount(target, horizon*float64(step)/steps) == 16 {
+						hits++
+					}
+				}
+			}
+			if hits < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+}
+
+// BenchmarkSharedScanner measures concurrent covering-set queries on
+// the read-mostly shared scanner: every benchmark goroutine reads the
+// same starlink SharedScanner through its immutable snapshot, with no
+// per-reader memo state. The allocs/op column is gated to zero by
+// ci.sh — the snapshot indirection must not reintroduce allocation on
+// the query path.
+func BenchmarkSharedScanner(b *testing.B) {
+	cfg, err := constellation.PresetConfig(constellation.PresetStarlink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := constellation.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := constellation.NewSharedScanner(c)
+	target := orbit.LatLon{Lat: 30 * math.Pi / 180, Lon: 0.4}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]constellation.SatRef, 0, cfg.Planes*cfg.ActivePerPlane)
+		i := 0
+		for pb.Next() {
+			dst = s.AppendCovering(dst[:0], target, float64(i)*0.05)
+			if len(dst) > cfg.Planes*cfg.ActivePerPlane {
+				b.Fatal("covering set larger than the fleet")
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkFigure9ColdCache regenerates Figure 9 with the memoized

@@ -75,25 +75,27 @@ if go run ./cmd/goldencheck -only fig9 -perturb 0.05; then
     exit 1
 fi
 
-# Allocation gate: the steady-state episode hot path and the SoA
-# coverage scan both have a committed budget of 0 allocs/op
-# (BENCH_PR5.json / BENCH_PR6.json). A single fixed-count bench run is
+# Allocation gate: the steady-state episode hot path, the SoA coverage
+# scan, and the shared read-mostly scanner's concurrent query path all
+# have a committed budget of 0 allocs/op (BENCH_PR5.json /
+# BENCH_PR6.json / BENCH_PR10.json). A single fixed-count bench run is
 # timing-noisy but its allocation counts are exact, so gate on
 # allocs/op only; ns/op trends live in the committed BENCH_*.json
 # records, which benchdiff cross-checks across PRs.
 alloc_budget=0
-go test -run '^$' -bench '^BenchmarkProtocolEpisode$|^BenchmarkCoverageScan$' \
+go test -run '^$' -bench '^BenchmarkProtocolEpisode$|^BenchmarkCoverageScan$|^BenchmarkSharedScanner$' \
     -benchmem -benchtime 200x . |
     tee "$tmpdir/bench.txt"
 awk -v budget="$alloc_budget" '
-    /^BenchmarkProtocolEpisode(-[0-9]+)?[ \t]/ || /^BenchmarkCoverageScan\// {
+    /^BenchmarkProtocolEpisode(-[0-9]+)?[ \t]/ || /^BenchmarkCoverageScan\// ||
+    /^BenchmarkSharedScanner(-[0-9]+)?[ \t]/ {
         seen++
         allocs = $(NF - 1) + 0
         if (allocs > budget) {
             print $1, "allocs/op", allocs, "exceeds budget", budget; bad = 1
         }
     }
-    END { if (seen < 9) { print "expected 9 gated benchmarks, saw", seen + 0; bad = 1 }; exit bad }
+    END { if (seen < 10) { print "expected 10 gated benchmarks, saw", seen + 0; bad = 1 }; exit bad }
 ' "$tmpdir/bench.txt"
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR5.json BENCH_PR6.json
@@ -101,6 +103,17 @@ go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR6.json BENCH_PR8.json
 go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
     BENCH_PR8.json BENCH_PR9.json
+go run ./cmd/benchdiff -require-overlap -max-alloc-regress 0 \
+    BENCH_PR9.json BENCH_PR10.json
+
+# Stochastic-geometry golden gate: the BPP backend must agree with the
+# exact geometry engine on every Walker preset (the experiment
+# self-gates the relative mean error at 1% in its package test; here
+# the rendered table must also be bit-identical at 1 and 8 workers).
+go run ./cmd/oaqbench -exp stochgeom -workers 1 > "$tmpdir/sg1.txt"
+go run ./cmd/oaqbench -exp stochgeom -workers 8 > "$tmpdir/sg8.txt"
+cmp "$tmpdir/sg1.txt" "$tmpdir/sg8.txt"
+grep -q "worst relative mean error" "$tmpdir/sg1.txt"
 
 # Serving gate: boot satqosd on an ephemeral port with an artificially
 # tiny Monte-Carlo admission budget, then satqosload -smoke exercises
@@ -174,10 +187,10 @@ go test -run='^$' -fuzz='^FuzzSnapshotDiff$' -fuzztime=5s ./cmd/metricscheck
 go test -run='^$' -fuzz='^FuzzRouteConfigJSON$' -fuzztime=5s ./internal/route
 
 # Coverage floor on the validation harness, its statistical machinery,
-# the observability layer (metrics + span tracing), and the routed ISL
-# fabric: these packages gate everything else, so their own statement
-# coverage must not rot.
-go test -cover ./internal/validate ./internal/stats ./internal/obs ./internal/obs/trace ./internal/route |
+# the observability layer (metrics + span tracing), the routed ISL
+# fabric, and the stochastic-geometry backend: these packages gate
+# everything else, so their own statement coverage must not rot.
+go test -cover ./internal/validate ./internal/stats ./internal/obs ./internal/obs/trace ./internal/route ./internal/stochgeom |
     awk '/coverage:/ {
              gsub(/%/, "", $5)
              if ($5 + 0 < 75) { print "coverage below 75%:", $0; bad = 1 }

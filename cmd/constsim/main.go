@@ -9,6 +9,7 @@
 //	constsim -mode protocol -preset starlink
 //	constsim -mode capacity -eta 10 -lambda 5e-5 -periods 200
 //	constsim -mode capacity -preset oneweb
+//	constsim -mode capacity -backend stochgeom -preset starlink -lat 53
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"satqos/internal/qos"
 	"satqos/internal/route"
 	"satqos/internal/stats"
+	"satqos/internal/stochgeom"
 )
 
 func main() {
@@ -59,6 +61,8 @@ func run(args []string, w io.Writer) (err error) {
 	routeArg := fs.String("route", "", "route messages over a multi-hop ISL fabric: policy name (static|probabilistic|qlearning) or route-config JSON file (protocol mode; empty = ideal delay-δ channel)")
 	islCapacity := fs.Float64("isl-capacity", 0, "override the routed ISL link capacity (packets/min)")
 	trafficLoad := fs.Float64("traffic-load", 0, "override the routed background traffic load (packets/min)")
+	backend := fs.String("backend", "des", "capacity-mode backend: des (plane birth-death analytic + simulation) | stochgeom (O(1) BPP visible-count law)")
+	lat := fs.Float64("lat", 30, "target latitude in degrees (capacity mode with -backend stochgeom)")
 	eta := fs.Int("eta", 10, "threshold capacity η (capacity mode)")
 	lambda := fs.Float64("lambda", 5e-5, "per-satellite failure rate λ (1/hour, capacity mode)")
 	phi := fs.Float64("phi", 30000, "scheduled-deployment period φ (hours, capacity mode)")
@@ -185,6 +189,13 @@ func run(args []string, w io.Writer) (err error) {
 		return nil
 
 	case "capacity":
+		switch *backend {
+		case "des":
+		case "stochgeom":
+			return runStochGeomCapacity(w, *preset, presetCfg, *lat, *eta)
+		default:
+			return fmt.Errorf("unknown -backend %q (des | stochgeom)", *backend)
+		}
 		p := capacity.ReferenceParams(*eta, *lambda, *phi)
 		p.ActivePerPlane = presetCfg.ActivePerPlane
 		p.Spares = presetCfg.SparesPerPlane
@@ -217,6 +228,39 @@ func run(args []string, w io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runStochGeomCapacity answers the capacity question from the
+// stochastic-geometry backend: the visible-satellite count law at one
+// target latitude, in closed form at any fleet size. The η threshold
+// reads as the paper's capacity threshold — P(K ≥ η) is the analytic
+// availability of an η-satellite opportunity.
+func runStochGeomCapacity(w io.Writer, preset string, cfg constellation.Config, latDeg float64, eta int) error {
+	if latDeg < -90 || latDeg > 90 {
+		return fmt.Errorf("latitude %g out of range [-90, 90]", latDeg)
+	}
+	design, err := stochgeom.FromConfig(cfg)
+	if err != nil {
+		return err
+	}
+	v, err := design.Evaluate(latDeg * math.Pi / 180)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stochastic-geometry visible-count law, preset %s (N=%d satellites), latitude %g°\n",
+		preset, design.TotalSatellites(), latDeg)
+	fmt.Fprintf(w, "  %-4s %-10s %-10s\n", "k", "P(K=k)", "P(K>=k)")
+	for k := 0; k <= design.TotalSatellites(); k++ {
+		ccdf := v.CCDF(k)
+		if k > 0 && ccdf < 1e-6 {
+			break
+		}
+		fmt.Fprintf(w, "  %-4d %-10.4f %-10.4f\n", k, v.P(k), ccdf)
+	}
+	fmt.Fprintf(w, "  mean visible %.3f, coverage fraction %.4f, localizability P(K>=4) %.4f\n",
+		v.Mean(), v.CoverageFraction(), v.Localizability(4))
+	fmt.Fprintf(w, "  availability at threshold η=%d: P(K>=η) = %.4f\n", eta, v.CCDF(eta))
+	return nil
 }
 
 // runMembership demonstrates the §5 follow-on: a plane of satellites

@@ -12,7 +12,10 @@
 //	oaqbench -exp all -pprof localhost:6060  # live pprof + Prometheus /metrics while running
 //
 // Paper experiments: table1, fig7, fig8, fig9, spot, tau, duration.
-// Validations: simvsana, geometry, capacity, coverage.
+// Validations: simvsana, geometry, capacity, coverage, stochgeom
+// (stochgeom cross-validates the O(1) stochastic-geometry backend
+// against the exact scanner on every preset; -backend stochgeom makes
+// the coverage experiment answer analytically from the same backend).
 // Extensions: scaling, ablation-backward, ablation-constants,
 // ablation-tc1, membership, sensitivity, mission, degraded-loss,
 // degraded-failsilent, routed-load (the degraded pair and routed-load
@@ -50,6 +53,7 @@ func main() {
 
 type options struct {
 	exp      string
+	backend  string
 	csv      bool
 	svgDir   string
 	episodes int
@@ -112,7 +116,8 @@ func (o options) writeSVG(id string, s *experiment.Sweep) error {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("oaqbench", flag.ContinueOnError)
 	opt := options{}
-	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|degraded-loss|degraded-failsilent|routed-load|all)")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (table1|fig7|fig8|fig9|spot|tau|duration|simvsana|geometry|capacity|coverage|stochgeom|scaling|ablation-backward|ablation-constants|ablation-tc1|membership|sensitivity|mission|availability|degraded-loss|degraded-failsilent|routed-load|all)")
+	fs.StringVar(&opt.backend, "backend", "geometry", "coverage-experiment backend: geometry (exact position scan) | stochgeom (O(1) BPP analytic)")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned text")
 	fs.StringVar(&opt.svgDir, "svg", "", "also write sweep experiments as SVG charts into this directory")
 	fs.IntVar(&opt.episodes, "episodes", 20000, "episodes per cell for simulation experiments")
@@ -157,6 +162,9 @@ func run(args []string, w io.Writer) error {
 		}
 		opt.route = rc
 	}
+	if opt.backend != "geometry" && opt.backend != "stochgeom" {
+		return fmt.Errorf("unknown -backend %q (geometry | stochgeom)", opt.backend)
+	}
 	opt.seed = *seed
 	experiment.Workers = opt.workers
 	experiment.Tracing = opt.tracing
@@ -184,7 +192,7 @@ func run(args []string, w io.Writer) error {
 	if opt.exp == "all" {
 		ids = []string{
 			"table1", "geometry", "capacity", "fig7", "fig8", "fig9", "spot",
-			"tau", "duration", "simvsana", "coverage",
+			"tau", "duration", "simvsana", "coverage", "stochgeom",
 			"scaling", "ablation-backward", "ablation-constants", "ablation-tc1", "membership", "sensitivity", "mission", "availability",
 			"degraded-loss", "degraded-failsilent", "routed-load",
 		}
@@ -384,12 +392,31 @@ func runOne(id string, opt options, w io.Writer) error {
 	case "mission":
 		return runMission(opt, w)
 	case "coverage":
+		if opt.backend == "stochgeom" {
+			covered, mult, err := experiment.AnalyticEarthCoverage(6)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "Full-constellation earth coverage (stochgeom): %.2f%% of surface points covered, mean multiplicity %.2f\n",
+				100*covered, mult)
+			return err
+		}
 		covered, mult, err := experiment.FullEarthCoverage(6, 10, numeric.Linspace(0, 60, 4))
 		if err != nil {
 			return err
 		}
 		_, err = fmt.Fprintf(w, "Full-constellation earth coverage: %.2f%% of sampled points covered, mean multiplicity %.2f\n",
 			100*covered, mult)
+		return err
+	case "stochgeom":
+		t, worst, err := experiment.StochGeomCheck()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "worst relative mean error = %.2e\n", worst)
 		return err
 	default:
 		return fmt.Errorf("unknown experiment %q", id)

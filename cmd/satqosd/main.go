@@ -1,10 +1,13 @@
 // Command satqosd serves the QoS-evaluation pipeline as a long-running
 // HTTP/JSON daemon: POST /v1/evaluate answers "what QoS does this
 // constellation + protocol + fault scenario deliver" from the analytic
-// model or the Monte-Carlo episode engine, with an episode-weighted
-// admission budget (429 load shedding, analytic degradation for auto
-// requests), a canonical-key response cache, and per-request deadlines
-// that cancel the episode engine mid-run.
+// model, the Monte-Carlo episode engine, or the stochastic-geometry
+// backend (O(1) at any fleet size; auto mode escalates to it at
+// -enum-limit satellites), with an episode-weighted admission budget
+// (429 load shedding, analytic degradation for auto requests), a
+// canonical-key response cache, and per-request deadlines that cancel
+// the episode engine mid-run. GET /v1/coverage answers exact coverage
+// counts from one long-lived shared scanner per preset.
 //
 // Usage:
 //
@@ -14,6 +17,8 @@
 //	satqosd -trace traces.ld -trace-anomaly retries   # flight recorder across served episodes
 //
 //	curl -s localhost:8417/v1/evaluate -d '{"mode":"analytic","k":10}'
+//	curl -s localhost:8417/v1/evaluate -d '{"mode":"stochgeom","preset":"starlink","latitude_deg":53}'
+//	curl -s "localhost:8417/v1/coverage?preset=starlink&lat_deg=53&t_min=10"
 //	curl -s localhost:8417/metrics          # Prometheus exposition
 //	curl -s localhost:8417/metrics.json     # stable JSON snapshot (metricscheck)
 //	curl -s localhost:8417/healthz
@@ -52,6 +57,7 @@ func run(args []string, stdout io.Writer, testStop <-chan struct{}) error {
 	mcBudget := fs.Int64("mc-budget", 0, "total episodes admitted across in-flight Monte-Carlo requests (0 = 4x max-episodes); excess is shed with 429")
 	cacheSize := fs.Int("cache", 256, "response-cache capacity in entries (negative disables)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request evaluation deadline (a request's timeout_ms may shorten it)")
+	enumLimit := fs.Int("enum-limit", 1000, "fleet size at which auto-mode requests answer from the stochastic-geometry backend instead of position enumeration")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts using -addr :0)")
 	metricsOut := fs.String("metrics", "", "dump the JSON metrics snapshot to this path at exit (\"-\" for stdout)")
 	var tcli trace.CLI
@@ -75,6 +81,7 @@ func run(args []string, stdout io.Writer, testStop <-chan struct{}) error {
 		MCBudget:       *mcBudget,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *reqTimeout,
+		EnumLimit:      *enumLimit,
 		Tracing:        tracing,
 	})
 	if err != nil {

@@ -72,7 +72,7 @@ func NewScanner(c *Constellation) *Scanner {
 func (s *Scanner) refresh(i int) *planeScan {
 	p := s.c.planes[i]
 	ps := &s.planes[i]
-	ps.version = p.version
+	ps.version = p.version.Load()
 	ps.k = p.active
 	ps.frame = p.frame
 	ps.phaseRef = p.phaseRef
@@ -91,7 +91,7 @@ func (s *Scanner) refresh(i int) *planeScan {
 // has re-phased since it was cached.
 func (s *Scanner) plane(i int) *planeScan {
 	ps := &s.planes[i]
-	if ps.version != s.c.planes[i].version {
+	if ps.version != s.c.planes[i].version.Load() {
 		ps = s.refresh(i)
 	}
 	return ps
@@ -111,6 +111,16 @@ func (s *Scanner) band(lat, half float64) (lo, hi float64) {
 	if s.bandValid && s.bandLat == lat && s.bandHalf == half {
 		return s.bandLo, s.bandHi
 	}
+	lo, hi = latBand(lat, half)
+	s.bandLat, s.bandHalf, s.bandLo, s.bandHi = lat, half, lo, hi
+	s.bandValid = true
+	return lo, hi
+}
+
+// latBand computes the z-interval without the memo — the shared
+// building block of Scanner.band and the memo-free SharedScanner
+// queries.
+func latBand(lat, half float64) (lo, hi float64) {
 	lo, hi = -1.0, 1.0
 	if l := lat - half; l > -math.Pi/2 {
 		lo = math.Sin(l) - latBandPad
@@ -118,8 +128,6 @@ func (s *Scanner) band(lat, half float64) (lo, hi float64) {
 	if h := lat + half; h < math.Pi/2 {
 		hi = math.Sin(h) + latBandPad
 	}
-	s.bandLat, s.bandHalf, s.bandLo, s.bandHi = lat, half, lo, hi
-	s.bandValid = true
 	return lo, hi
 }
 

@@ -1,0 +1,223 @@
+package constellation
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"satqos/internal/orbit"
+)
+
+const deg = math.Pi / 180
+
+// SharedScanner must agree exactly with the plain Scanner on every
+// preset, at full strength and after degradation applied through
+// Update.
+func TestSharedScannerMatchesScanner(t *testing.T) {
+	target := orbit.LatLon{Lat: 30 * deg, Lon: 0.4}
+	for _, name := range PresetNames() {
+		cfg, err := PresetConfig(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := NewSharedScanner(c)
+		plain := NewScanner(ref)
+
+		check := func(stage string) {
+			t.Helper()
+			var got, want []SatRef
+			for _, tm := range []float64{0, 13.7, 55.25, 101.9} {
+				got = shared.AppendCovering(got[:0], target, tm)
+				want = plain.AppendCovering(want[:0], target, tm)
+				if len(got) != len(want) {
+					t.Fatalf("%s %s t=%g: %d covering, want %d", name, stage, tm, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %s t=%g: sat %d = %+v, want %+v", name, stage, tm, i, got[i], want[i])
+					}
+				}
+				if n := shared.CoverageCount(target, tm); n != len(want) {
+					t.Fatalf("%s %s t=%g: CoverageCount %d, want %d", name, stage, tm, n, len(want))
+				}
+			}
+		}
+		check("full")
+
+		// Degrade plane 0 past its spares through Update; mirror on the
+		// reference constellation.
+		fails := cfg.SparesPerPlane + 2
+		shared.Update(func(c *Constellation) {
+			p, err := c.Plane(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < fails; i++ {
+				if err := p.FailActive(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		p, err := ref.Plane(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < fails; i++ {
+			if err := p.FailActive(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("degraded")
+
+		shared.Update(func(c *Constellation) { c.DeployScheduled() })
+		ref.DeployScheduled()
+		check("restored")
+	}
+}
+
+// Out-of-band mutation is visible through Stale and repaired by
+// Refresh.
+func TestSharedScannerStaleness(t *testing.T) {
+	cfg, err := PresetConfig("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedScanner(c)
+	if s.Stale() {
+		t.Fatal("fresh scanner reports stale")
+	}
+	p, err := c.Plane(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= cfg.SparesPerPlane; i++ { // exhaust spares, then re-phase
+		if err := p.FailActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Stale() {
+		t.Fatal("re-phased plane not reported stale")
+	}
+	s.Refresh()
+	if s.Stale() {
+		t.Fatal("still stale after Refresh")
+	}
+	got := s.CoverageCount(orbit.LatLon{Lat: 30 * deg, Lon: 0.4}, 7.5)
+	want := NewScanner(c).CoverageCount(orbit.LatLon{Lat: 30 * deg, Lon: 0.4}, 7.5)
+	if got != want {
+		t.Fatalf("post-refresh count %d, want %d", got, want)
+	}
+}
+
+// Concurrent readers race a writer that fails and restores planes
+// through Update. Run under -race this is the memory-safety gate; the
+// invariant checked is that every count a reader observes matches one
+// of the constellation states the writer publishes.
+func TestSharedScannerConcurrent(t *testing.T) {
+	cfg, err := PresetConfig("kepler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedScanner(c)
+	target := orbit.LatLon{Lat: 50 * deg, Lon: 1.1}
+	const tm = 42.5
+
+	// The writer alternates between exactly two published states:
+	// full strength and plane 0 degraded by spares+1 failures. Compute
+	// both expected counts up front from private constellations.
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull := NewScanner(full).CoverageCount(target, tm)
+	degr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := degr.Plane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= cfg.SparesPerPlane; i++ {
+		if err := dp.FailActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDegraded := NewScanner(degr).CoverageCount(target, tm)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dst []SatRef
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := s.CoverageCount(target, tm)
+				if n != wantFull && n != wantDegraded {
+					select {
+					case errs <- "count matches neither published state":
+					default:
+					}
+					return
+				}
+				dst = s.AppendCovering(dst[:0], target, tm)
+				if len(dst) != wantFull && len(dst) != wantDegraded {
+					select {
+					case errs <- "covering set matches neither published state":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 200; round++ {
+		s.Update(func(c *Constellation) {
+			p, err := c.Plane(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i <= cfg.SparesPerPlane; i++ {
+				if err := p.FailActive(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		s.Update(func(c *Constellation) { c.DeployScheduled() })
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if s.Stale() {
+		t.Fatal("scanner stale after final Update")
+	}
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The golden gate of the stochastic-geometry backend: on every preset
+// and latitude, the BPP mean visible count must agree with the exact
+// geometry engine's empirical mean to better than 1% (measured worst
+// in this grid is ~0.3%, dominated by the finite sampling grid; the
+// headroom covers grid changes, not model drift — E[K] = N·p is exact
+// under the BPP marginal).
+func TestStochGeomGoldenGate(t *testing.T) {
+	tab, worst, err := StochGeomCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const envelope = 0.01
+	if worst >= envelope {
+		var b bytes.Buffer
+		tab.Render(&b)
+		t.Fatalf("worst relative mean error %.4f breaches the %.2f envelope\n%s", worst, envelope, b.String())
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty cross-validation table")
+	}
+}
+
+// The cross-validation must be a pure function of its inputs: the
+// rendered table is bit-identical at any worker count (the ci.sh
+// golden gate diffs oaqbench output at -workers 1 and 8; this is the
+// in-process counterpart).
+func TestStochGeomWorkerDeterminism(t *testing.T) {
+	prev := Workers
+	defer func() { Workers = prev }()
+	var outputs []string
+	for _, w := range []int{1, 8} {
+		Workers = w
+		tab, _, err := StochGeomCheck()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := tab.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, b.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("table differs between workers 1 and 8:\n--- w1 ---\n%s--- w8 ---\n%s", outputs[0], outputs[1])
+	}
+}

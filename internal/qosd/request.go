@@ -14,6 +14,7 @@ import (
 	"satqos/internal/oaq"
 	"satqos/internal/qos"
 	"satqos/internal/stats"
+	"satqos/internal/stochgeom"
 )
 
 // Deployment selects the plane-capacity model composed into the
@@ -28,14 +29,54 @@ type Deployment struct {
 	PhiHours float64 `json:"phi_hours"`
 }
 
+// ShellSpec is one shell of an explicit stochastic-geometry design:
+// N satellites at a common altitude and inclination, with the coverage
+// half-angle derived from exactly one of a minimum-elevation mask or a
+// coverage time. A request carrying shells bypasses the preset's
+// geometry (LEO/MEO hybrids have no preset).
+type ShellSpec struct {
+	N               int     `json:"n"`
+	AltitudeKm      float64 `json:"altitude_km"`
+	InclinationDeg  float64 `json:"inclination_deg"`
+	MinElevationDeg float64 `json:"min_elevation_deg,omitempty"`
+	CoverageTimeMin float64 `json:"coverage_time_min,omitempty"`
+}
+
+// shell resolves the spec into a validated stochgeom.Shell.
+func (sp ShellSpec) shell() (stochgeom.Shell, error) {
+	s := stochgeom.Shell{
+		N:              sp.N,
+		AltitudeKm:     sp.AltitudeKm,
+		InclinationDeg: sp.InclinationDeg,
+	}
+	var err error
+	switch {
+	case sp.MinElevationDeg > 0 && sp.CoverageTimeMin > 0:
+		return s, fmt.Errorf("shell: give min_elevation_deg or coverage_time_min, not both")
+	case sp.MinElevationDeg > 0:
+		s.HalfAngle, err = stochgeom.HalfAngleFromElevationDeg(sp.AltitudeKm, sp.MinElevationDeg)
+	case sp.CoverageTimeMin > 0:
+		s.HalfAngle, err = stochgeom.HalfAngleFromCoverageTime(sp.AltitudeKm, sp.CoverageTimeMin)
+	default:
+		return s, fmt.Errorf("shell: needs min_elevation_deg or coverage_time_min")
+	}
+	if err != nil {
+		return s, err
+	}
+	return s, s.Validate()
+}
+
 // Request is the /v1/evaluate body: a constellation design + protocol
 // operating point + fault scenario + deployment policy, and the answer
 // mode. Zero values select the paper's §4.3 defaults.
 type Request struct {
 	// Mode is the evaluation path: "analytic" (closed-form, instant),
-	// "montecarlo" (simulated episodes; sheds 429 under load), or "auto"
-	// (Monte-Carlo, degrading to analytic-only under queue pressure).
-	// Default "auto".
+	// "montecarlo" (simulated episodes; sheds 429 under load),
+	// "stochgeom" (closed-form binomial-point-process visibility,
+	// instant at any fleet size), or "auto" (stochgeom for designs at or
+	// above the server's enumeration limit or with explicit shells,
+	// otherwise Monte-Carlo degrading to analytic-only under queue
+	// pressure). Default "auto".
 	Mode string `json:"mode"`
 	// Preset names the constellation design (constellation.PresetNames);
 	// default "reference".
@@ -70,6 +111,21 @@ type Request struct {
 	// TimeoutMS bounds this request's evaluation wall-clock; 0 uses the
 	// server default. The deadline cancels the episode engine mid-run.
 	TimeoutMS int `json:"timeout_ms"`
+
+	// LatitudeDeg is the ground-target latitude for stochastic-geometry
+	// answers (default 30, the paper's mid-latitude band).
+	LatitudeDeg *float64 `json:"latitude_deg,omitempty"`
+	// MinElevationDeg, when positive, derives the preset shell's
+	// coverage half-angle from an elevation mask instead of the preset's
+	// coverage time (stochgeom only).
+	MinElevationDeg float64 `json:"min_elevation_deg,omitempty"`
+	// MinSats is the localizability threshold L in P(K ≥ L) (default 4;
+	// stochgeom only).
+	MinSats int `json:"min_sats,omitempty"`
+	// Shells replaces the preset's geometry with an explicit LEO/MEO
+	// shell mixture (stochgeom only; forces the stochgeom backend in
+	// auto mode).
+	Shells []ShellSpec `json:"shells,omitempty"`
 }
 
 // resolved is a validated request with every default applied: the
@@ -77,6 +133,7 @@ type Request struct {
 // distribution parameters, and the canonical cache key.
 type resolved struct {
 	mode     string
+	backend  string // the compute path the mode deterministically resolves to
 	preset   string
 	scheme   qos.Scheme
 	k        int
@@ -86,6 +143,13 @@ type resolved struct {
 	model    qos.Model
 	capures  *capacity.Params // nil without a deployment policy
 	key      string
+
+	// Stochastic-geometry backend state (zero unless backend is
+	// ModeStochGeom).
+	design  stochgeom.Design
+	lat     float64 // target latitude, radians
+	minSats int
+	maxK    int // the analytic model's two-regime capacity ceiling
 }
 
 // badRequestError marks client errors (HTTP 400) apart from server
@@ -101,8 +165,11 @@ func badRequest(format string, args ...any) error {
 
 // resolve validates the request against the server limits and fills in
 // defaults, mirroring how cmd/constsim derives protocol parameters from
-// a constellation preset.
-func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
+// a constellation preset. The enumeration limit parameterizes auto
+// mode's deterministic backend choice: designs with at least that many
+// satellites (or explicit shells) answer from the stochastic-geometry
+// backend rather than position enumeration.
+func (req *Request) resolve(maxEpisodes, enumLimit int) (*resolved, error) {
 	r := &resolved{
 		mode:   req.Mode,
 		preset: req.Preset,
@@ -110,8 +177,10 @@ func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
 	if r.mode == "" {
 		r.mode = ModeAuto
 	}
-	if r.mode != ModeAnalytic && r.mode != ModeMonteCarlo && r.mode != ModeAuto {
-		return nil, badRequest("unknown mode %q (analytic | montecarlo | auto)", r.mode)
+	switch r.mode {
+	case ModeAnalytic, ModeMonteCarlo, ModeAuto, ModeStochGeom:
+	default:
+		return nil, badRequest("unknown mode %q (analytic | montecarlo | stochgeom | auto)", r.mode)
 	}
 	if r.preset == "" {
 		r.preset = constellation.PresetReference
@@ -119,6 +188,28 @@ func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
 	presetCfg, err := constellation.PresetConfig(r.preset)
 	if err != nil {
 		return nil, badRequestError{err}
+	}
+
+	// Resolve the mode to its compute backend. The choice is a pure
+	// function of (request, server config) — never of load — so it can
+	// key the response cache.
+	switch r.mode {
+	case ModeAuto:
+		if len(req.Shells) > 0 || presetCfg.Planes*presetCfg.ActivePerPlane >= enumLimit {
+			r.backend = ModeStochGeom
+		} else {
+			r.backend = ModeMonteCarlo
+		}
+	default:
+		r.backend = r.mode
+	}
+	if r.backend != ModeStochGeom {
+		if len(req.Shells) > 0 {
+			return nil, badRequest("shells require mode stochgeom (or auto)")
+		}
+		if req.MinElevationDeg != 0 {
+			return nil, badRequest("min_elevation_deg requires mode stochgeom (or auto resolving to it)")
+		}
 	}
 	switch strings.ToLower(req.Scheme) {
 	case "", "oaq":
@@ -132,6 +223,7 @@ func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
 	if err != nil {
 		return nil, badRequestError{err}
 	}
+	r.maxK = geom.MaxTwoRegimeCapacity()
 	r.k = req.K
 	if r.k == 0 {
 		if r.preset == constellation.PresetReference {
@@ -192,6 +284,47 @@ func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
 		r.capures = &cp
 	}
 
+	if r.backend == ModeStochGeom {
+		latDeg := 30.0
+		if req.LatitudeDeg != nil {
+			latDeg = *req.LatitudeDeg
+		}
+		if math.IsNaN(latDeg) || latDeg < -90 || latDeg > 90 {
+			return nil, badRequest("latitude_deg %g outside [-90, 90]", latDeg)
+		}
+		r.lat = latDeg * math.Pi / 180
+		r.minSats = req.MinSats
+		if r.minSats == 0 {
+			r.minSats = 4
+		}
+		if r.minSats < 1 {
+			return nil, badRequest("min_sats %d must be at least 1", r.minSats)
+		}
+		if len(req.Shells) > 0 {
+			for i, sp := range req.Shells {
+				s, err := sp.shell()
+				if err != nil {
+					return nil, badRequest("shell %d: %v", i, err)
+				}
+				r.design.Shells = append(r.design.Shells, s)
+			}
+		} else {
+			s, err := stochgeom.ShellFromConfig(presetCfg)
+			if err != nil {
+				return nil, badRequestError{err}
+			}
+			if req.MinElevationDeg > 0 {
+				if s.HalfAngle, err = stochgeom.HalfAngleFromElevationDeg(s.AltitudeKm, req.MinElevationDeg); err != nil {
+					return nil, badRequestError{err}
+				}
+			}
+			r.design.Shells = []stochgeom.Shell{s}
+		}
+		if err := r.design.Validate(); err != nil {
+			return nil, badRequestError{err}
+		}
+	}
+
 	r.episodes = req.Episodes
 	if r.episodes == 0 {
 		r.episodes = 20000
@@ -219,13 +352,19 @@ func (req *Request) resolve(maxEpisodes int) (*resolved, error) {
 // deterministic string. Floats enter as exact hex-float encodings (the
 // qos G-table memo idiom), never formatted decimals, so two keys are
 // equal exactly when the evaluations are.
+//
+// The key leads with the resolved backend, not the requested mode:
+// stochgeom and montecarlo answers for the same design must never
+// collide in the cache, while mode spellings that provably produce the
+// same bits (auto resolving to montecarlo vs. explicit montecarlo)
+// must share an entry.
 func (r *resolved) canonicalKey(req *Request) string {
 	var b strings.Builder
 	hx := func(v float64) {
 		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
 		b.WriteByte('|')
 	}
-	b.WriteString(r.mode)
+	b.WriteString(r.backend)
 	b.WriteByte('|')
 	b.WriteString(r.preset)
 	b.WriteByte('|')
@@ -250,6 +389,17 @@ func (r *resolved) canonicalKey(req *Request) string {
 	}
 	b.WriteByte('|')
 	fmt.Fprintf(&b, "%d|%d", r.episodes, r.seed)
+	if r.backend == ModeStochGeom {
+		b.WriteByte('|')
+		hx(r.lat)
+		fmt.Fprintf(&b, "%d|", r.minSats)
+		for _, s := range r.design.Shells {
+			fmt.Fprintf(&b, "%d|", s.N)
+			hx(s.AltitudeKm)
+			hx(s.InclinationDeg)
+			hx(s.HalfAngle)
+		}
+	}
 	return b.String()
 }
 

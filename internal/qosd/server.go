@@ -20,14 +20,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"satqos/internal/constellation"
 	"satqos/internal/oaq"
 	"satqos/internal/obs"
 	"satqos/internal/obs/trace"
+	"satqos/internal/orbit"
 	"satqos/internal/qos"
 )
 
@@ -35,6 +40,7 @@ import (
 const (
 	ModeAnalytic   = "analytic"
 	ModeMonteCarlo = "montecarlo"
+	ModeStochGeom  = "stochgeom"
 	ModeAuto       = "auto"
 )
 
@@ -59,6 +65,14 @@ type Response struct {
 	// PYGE[y] is P(Y ≥ y) for y = 0..3, the paper's QoS measure.
 	PYGE      [qos.NumLevels]float64 `json:"p_y_ge"`
 	MeanLevel float64                `json:"mean_level"`
+
+	// Stochastic-geometry detail (stochgeom answers only): the BPP
+	// visible-count law at the request latitude.
+	LatitudeDeg      float64 `json:"latitude_deg,omitempty"`
+	VisibleMean      float64 `json:"visible_mean,omitempty"`
+	CoverageFraction float64 `json:"coverage_fraction,omitempty"`
+	Localizability   float64 `json:"localizability,omitempty"`
+	PKVisible        float64 `json:"p_k_visible,omitempty"`
 
 	// Monte-Carlo detail (absent on analytic answers).
 	DeliveredFraction   float64           `json:"delivered_fraction,omitempty"`
@@ -93,6 +107,11 @@ type Config struct {
 	// RequestTimeout bounds each evaluation (default 30s). A request's
 	// timeout_ms may shorten, never extend, it.
 	RequestTimeout time.Duration
+	// EnumLimit is the fleet size at which auto-mode requests switch
+	// from position enumeration (Monte-Carlo) to the stochastic-geometry
+	// backend (default 1000). The choice is deterministic per request so
+	// it can key the response cache.
+	EnumLimit int
 	// Tracing, when non-nil, samples episode traces from served
 	// Monte-Carlo evaluations into its collector.
 	Tracing *trace.Config
@@ -109,6 +128,14 @@ type Server struct {
 	// burst can't collectively overshoot the budget.
 	inflightEpisodes atomic.Int64
 
+	// scanners holds one long-lived SharedScanner per preset, built
+	// lazily on the first /v1/coverage query and shared by every
+	// subsequent request — the read-mostly alternative to a per-request
+	// scanner. scanMu guards only (de)registration; queries go straight
+	// to the scanner's lock-free snapshot.
+	scanMu   sync.Mutex
+	scanners map[string]*constellation.SharedScanner
+
 	requests  *obs.Counter
 	errors    *obs.Counter
 	shed      *obs.Counter
@@ -117,6 +144,8 @@ type Server struct {
 	cacheMiss *obs.Counter
 	analytic  *obs.Counter
 	mc        *obs.Counter
+	stoch     *obs.Counter
+	coverage  *obs.Counter
 	inflight  *obs.Gauge
 	budget    *obs.Gauge
 	latency   *obs.Histogram
@@ -143,6 +172,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.EnumLimit <= 0 {
+		cfg.EnumLimit = 1000
+	}
 	if cfg.Tracing != nil {
 		if err := cfg.Tracing.Validate(); err != nil {
 			return nil, fmt.Errorf("qosd: tracing config: %w", err)
@@ -152,6 +184,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		cache:     newResponseCache(cfg.CacheSize),
+		scanners:  make(map[string]*constellation.SharedScanner),
 		requests:  r.Counter("satqosd_requests_total", "Evaluation requests received."),
 		errors:    r.Counter("satqosd_request_errors_total", "Evaluation requests answered with an error status."),
 		shed:      r.Counter("satqosd_shed_total", "Monte-Carlo requests shed with 429 under budget pressure."),
@@ -160,6 +193,8 @@ func NewServer(cfg Config) (*Server, error) {
 		cacheMiss: r.Counter("satqosd_cache_misses_total", "Evaluations computed on a cache miss."),
 		analytic:  r.Counter("satqosd_analytic_total", "Answers produced by the closed-form model."),
 		mc:        r.Counter("satqosd_montecarlo_total", "Answers produced by the episode engine."),
+		stoch:     r.Counter("satqosd_stochgeom_total", "Answers produced by the stochastic-geometry backend."),
+		coverage:  r.Counter("satqosd_coverage_total", "Coverage queries served from the shared scanner."),
 		inflight:  r.Gauge("satqosd_inflight_requests", "Evaluation requests currently being served."),
 		budget:    r.Gauge("satqosd_inflight_episodes", "Episodes admitted to in-flight Monte-Carlo evaluations."),
 		latency:   r.Histogram("satqosd_request_seconds", "Evaluation wall-clock per request.", obs.DurationBuckets),
@@ -172,6 +207,7 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := obs.DebugMux(s.cfg.Registry)
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/coverage", s.handleCoverage)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -255,7 +291,7 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 // evaluate answers one resolved request. The returned *httpError is nil
 // on success.
 func (s *Server) evaluate(ctx context.Context, req *Request) (*Response, *httpError) {
-	rv, err := req.resolve(s.cfg.MaxEpisodes)
+	rv, err := req.resolve(s.cfg.MaxEpisodes, s.cfg.EnumLimit)
 	if err != nil {
 		var bad badRequestError
 		if errors.As(err, &bad) {
@@ -270,7 +306,7 @@ func (s *Server) evaluate(ctx context.Context, req *Request) (*Response, *httpEr
 	}
 	s.cacheMiss.Inc()
 
-	wantMC := rv.mode != ModeAnalytic
+	wantMC := rv.backend == ModeMonteCarlo
 	degraded := false
 	var release func()
 	if wantMC {
@@ -298,10 +334,13 @@ func (s *Server) evaluate(ctx context.Context, req *Request) (*Response, *httpEr
 	defer cancel()
 
 	var resp *Response
-	if wantMC {
+	switch {
+	case wantMC:
 		defer release()
 		resp, err = s.evaluateMC(ctx, rv)
-	} else {
+	case rv.backend == ModeStochGeom:
+		resp, err = s.evaluateStochGeom(rv)
+	default:
 		resp, err = s.evaluateAnalytic(rv)
 	}
 	if err != nil {
@@ -354,6 +393,128 @@ func (s *Server) evaluateAnalytic(rv *resolved) (*Response, error) {
 		resp.PYGE[y] = pmf.CCDF(y)
 	}
 	return resp, nil
+}
+
+// evaluateStochGeom answers from the stochastic-geometry backend: the
+// BPP visible-count law of the design at the request latitude, plus
+// the QoS composition of the analytic model over that law — the
+// visible-count PMF enters qos.Model.Compose through the clamped
+// capacity adapter, with mass outside [1, maxK] folded onto the
+// bounds. Cost is independent of fleet size and of any time
+// discretization.
+func (s *Server) evaluateStochGeom(rv *resolved) (*Response, error) {
+	v, err := rv.design.Evaluate(rv.lat)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := v.CapacityDistribution(1, rv.maxK)
+	if err != nil {
+		return nil, err
+	}
+	pmf, err := rv.model.Compose(rv.scheme, dist)
+	if err != nil {
+		return nil, err
+	}
+	s.stoch.Inc()
+	resp := &Response{
+		Mode:             ModeStochGeom,
+		Preset:           rv.preset,
+		K:                rv.k,
+		Scheme:           rv.scheme.String(),
+		MeanLevel:        pmf.Mean(),
+		LatitudeDeg:      rv.lat * 180 / math.Pi,
+		VisibleMean:      v.Mean(),
+		CoverageFraction: v.CoverageFraction(),
+		Localizability:   v.Localizability(rv.minSats),
+		PKVisible:        v.P(rv.k),
+	}
+	for y := qos.Level(0); y < qos.NumLevels; y++ {
+		resp.PYGE[y] = pmf.CCDF(y)
+	}
+	return resp, nil
+}
+
+// sharedScanner returns the long-lived shared scanner of the preset,
+// building it on first use. Every /v1/coverage query for a preset
+// after the first reads the same scanner's lock-free snapshot.
+func (s *Server) sharedScanner(preset string) (*constellation.SharedScanner, error) {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	if sc, ok := s.scanners[preset]; ok {
+		return sc, nil
+	}
+	cfg, err := constellation.PresetConfig(preset)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	c, err := constellation.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc := constellation.NewSharedScanner(c)
+	s.scanners[preset] = sc
+	return sc, nil
+}
+
+// handleCoverage serves GET /v1/coverage: the exact simultaneous-
+// coverage count of a preset constellation at a ground target and
+// time, from the preset's shared read-mostly scanner.
+//
+// Query parameters: preset (default reference), lat_deg (default 30),
+// lon_deg (default 0), t_min (default 0).
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	preset := q.Get("preset")
+	if preset == "" {
+		preset = constellation.PresetReference
+	}
+	num := func(name string, def float64) (float64, error) {
+		raw := q.Get(name)
+		if raw == "" {
+			return def, nil
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("bad %s %q", name, raw)
+		}
+		return v, nil
+	}
+	latDeg, err := num("lat_deg", 30)
+	if err == nil && (latDeg < -90 || latDeg > 90) {
+		err = fmt.Errorf("lat_deg %g outside [-90, 90]", latDeg)
+	}
+	var lonDeg, tMin float64
+	if err == nil {
+		lonDeg, err = num("lon_deg", 0)
+	}
+	if err == nil {
+		tMin, err = num("t_min", 0)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.sharedScanner(preset)
+	if err != nil {
+		var bad badRequestError
+		if errors.As(err, &bad) {
+			s.fail(w, http.StatusBadRequest, err)
+		} else {
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	target := orbit.LatLon{Lat: latDeg * math.Pi / 180, Lon: lonDeg * math.Pi / 180}
+	n := sc.CoverageCount(target, tMin)
+	s.coverage.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"preset\":%q,\"lat_deg\":%g,\"lon_deg\":%g,\"t_min\":%g,\"covering\":%d}\n",
+		preset, latDeg, lonDeg, tMin, n)
 }
 
 // evaluateMC answers from the episode engine, with the request deadline

@@ -103,7 +103,7 @@ func TestMonteCarloBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	if err := json.NewDecoder(strings.NewReader(body)).Decode(&req); err != nil {
 		t.Fatal(err)
 	}
-	rv, err := req.resolve(1_000_000)
+	rv, err := req.resolve(1_000_000, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package validate
 
 import (
 	"fmt"
+	"math"
 
 	"satqos/internal/capacity"
 	"satqos/internal/fault"
@@ -10,6 +11,7 @@ import (
 	"satqos/internal/qos"
 	"satqos/internal/route"
 	"satqos/internal/stats"
+	"satqos/internal/stochgeom"
 )
 
 // Gen draws random-but-valid configurations for property-based tests.
@@ -172,6 +174,37 @@ func (g *Gen) MissionConfig() mission.Config {
 		panic(fmt.Sprintf("validate: generator drew invalid mission config: %v", err))
 	}
 	return c
+}
+
+// Shell draws a valid BPP constellation shell: fleets from a single
+// satellite to several hundred, LEO through MEO altitudes, equatorial
+// through retrograde inclinations, and footprints from a sliver to
+// nearly a hemisphere.
+func (g *Gen) Shell() stochgeom.Shell {
+	s := stochgeom.Shell{
+		N:              g.intn(1, 500),
+		AltitudeKm:     g.uniform(300, 20000),
+		InclinationDeg: g.uniform(0, 180),
+		HalfAngle:      g.uniform(0.01, math.Pi/2-0.01),
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid shell: %v", err))
+	}
+	return s
+}
+
+// Design draws a valid stochastic-geometry design: one to three
+// independent shells, so mixtures (LEO/MEO hybrids) are exercised as
+// often as single-shell constellations.
+func (g *Gen) Design() stochgeom.Design {
+	d := stochgeom.Design{}
+	for i, n := 0, g.intn(1, 3); i < n; i++ {
+		d.Shells = append(d.Shells, g.Shell())
+	}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("validate: generator drew invalid design: %v", err))
+	}
+	return d
 }
 
 // CapacityParams draws a valid plane-capacity parameterization: plane

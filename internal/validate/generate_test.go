@@ -36,6 +36,10 @@ func TestGenValidity(t *testing.T) {
 		g.Params()
 		g.Scenario()
 		g.CapacityParams()
+		g.Shell()
+	}
+	for i := 0; i < 50; i++ {
+		g.Design()
 	}
 	for i := 0; i < 20; i++ { // mission configs allocate more; fewer draws
 		g.MissionConfig()

@@ -1,0 +1,133 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"satqos/internal/stats"
+	"satqos/internal/stochgeom"
+)
+
+// TestPropertyVisibilityPMFWellFormed drives the stochastic-geometry
+// backend over generated shell mixtures and asserts the visible-count
+// law is a proper distribution at every latitude band, including the
+// polar bands many drawn shells cannot reach at all.
+func TestPropertyVisibilityPMFWellFormed(t *testing.T) {
+	const seed = 31
+	g := NewGen(seed, 0)
+	for i := 0; i < 30; i++ {
+		d := g.Design()
+		for _, latDeg := range []float64{0, 23.5, 51, 78, 89} {
+			v, err := d.Evaluate(latDeg * math.Pi / 180)
+			if err != nil {
+				t.Fatalf("seed %d draw %d lat %g: %v", seed, i, latDeg, err)
+			}
+			if err := CheckVisibility(d, v); err != nil {
+				t.Fatalf("seed %d draw %d lat %g (%+v): %v", seed, i, latDeg, d, err)
+			}
+		}
+	}
+}
+
+// TestCheckVisibilityRejects verifies the predicate detects malformed
+// laws, not just accepts well-formed ones.
+func TestCheckVisibilityRejects(t *testing.T) {
+	d, err := stochgeom.FromPreset("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Evaluate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckVisibility(d, v); err != nil {
+		t.Fatalf("well-formed law rejected: %v", err)
+	}
+	if err := CheckVisibility(d, nil); err == nil {
+		t.Error("accepted nil visibility")
+	}
+	short := *v
+	short.PMF = short.PMF[:len(short.PMF)-1]
+	if err := CheckVisibility(d, &short); err == nil {
+		t.Error("accepted truncated PMF")
+	}
+	drifted := *v
+	drifted.PMF = append([]float64(nil), v.PMF...)
+	drifted.PMF[0] += 1e-3
+	if err := CheckVisibility(d, &drifted); err == nil {
+		t.Error("accepted unnormalized PMF")
+	}
+	badShell := *v
+	badShell.ShellProbs = []float64{1.5}
+	if err := CheckVisibility(d, &badShell); err == nil {
+		t.Error("accepted out-of-range shell probability")
+	}
+}
+
+// TestStochGeomMonteCarloAgreement samples the BPP directly — N
+// satellites drawn from the inclination-bounded latitude marginal with
+// uniform longitudes — on the reference design and checks the analytic
+// law against the empirical coverage fraction, localizability, and
+// point probabilities within Wilson intervals.
+func TestStochGeomMonteCarloAgreement(t *testing.T) {
+	d, err := stochgeom.FromPreset("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Shells[0]
+	latDeg := 30.0
+	v, err := d.Evaluate(latDeg * math.Pi / 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc := s.InclinationDeg * math.Pi / 180
+	if inc > math.Pi/2 {
+		inc = math.Pi - inc
+	}
+	sinInc := math.Sin(inc)
+	sinT, cosT := math.Sincos(latDeg * math.Pi / 180)
+	cosPsi := math.Cos(s.HalfAngle)
+	const trials = 30000
+	rng := stats.NewRNG(101, 0)
+	counts := make([]int, s.N+1)
+	for tr := 0; tr < trials; tr++ {
+		k := 0
+		for i := 0; i < s.N; i++ {
+			// sin φ = sin ι sin u with u uniform on [−π/2, π/2] is
+			// exactly the marginal the backend integrates against.
+			sinLat := sinInc * math.Sin((rng.Float64()-0.5)*math.Pi)
+			cosLat := math.Sqrt(1 - sinLat*sinLat)
+			lon := 2 * math.Pi * rng.Float64()
+			if sinLat*sinT+cosLat*cosT*math.Cos(lon) >= cosPsi {
+				k++
+			}
+		}
+		counts[k]++
+	}
+
+	const z = 3.9 // joint coverage across the checks below
+	check := func(name string, pHat, p float64) {
+		t.Helper()
+		lo, hi := stats.WilsonCI(pHat, trials, z)
+		if p < lo || p > hi {
+			t.Errorf("%s: analytic %.5f outside Wilson CI [%.5f, %.5f] around empirical %.5f",
+				name, p, lo, hi, pHat)
+		}
+	}
+	var cover, loc int
+	for k, n := range counts {
+		if k >= 1 {
+			cover += n
+		}
+		if k >= 4 {
+			loc += n
+		}
+	}
+	check("P(K>=1)", float64(cover)/trials, v.CoverageFraction())
+	check("P(K>=4)", float64(loc)/trials, v.Localizability(4))
+	for _, k := range []int{0, 1, 2, 4} {
+		check(fmt.Sprintf("P(K=%d)", k), float64(counts[k])/trials, v.P(k))
+	}
+}

@@ -21,6 +21,9 @@
 //     (CheckMonotoneNonIncreasing).
 //   - The sharded Monte-Carlo engine must be bit-identical at any
 //     worker count (CheckEvaluationsEqual, CheckSweepsEqual).
+//   - The stochastic-geometry backend's visible-count law must be a
+//     proper distribution carrying the shell mixture's exact first
+//     moment E[K] = Σ N_i p_i (CheckVisibility).
 //
 // Every predicate returns a descriptive error rather than failing a
 // *testing.T, so the same suite backs unit tests, the golden
@@ -37,6 +40,7 @@ import (
 	"satqos/internal/oaq"
 	"satqos/internal/qos"
 	"satqos/internal/route"
+	"satqos/internal/stochgeom"
 )
 
 // probTol is the slack allowed on probability identities that are exact
@@ -103,6 +107,61 @@ func CheckCapacityDistribution(d *capacity.Distribution) error {
 	}
 	if m := d.Mean(); m < float64(d.Eta)-probTol || m > float64(d.N)+probTol {
 		return fmt.Errorf("validate: E[K] = %g outside support [%d, %d]", m, d.Eta, d.N)
+	}
+	return nil
+}
+
+// CheckVisibility verifies that an evaluated visible-count law is a
+// proper distribution for its design: a PMF over [0, TotalSatellites]
+// summing to 1, per-shell visibility probabilities in [0, 1], a
+// nonincreasing CCDF anchored at exactly 1, and the first-moment
+// identity E[K] = Σ_i N_i·p_i that holds exactly for a sum of
+// independent binomials.
+func CheckVisibility(d stochgeom.Design, v *stochgeom.Visibility) error {
+	if v == nil {
+		return fmt.Errorf("validate: nil visibility")
+	}
+	n := d.TotalSatellites()
+	if len(v.PMF) != n+1 {
+		return fmt.Errorf("validate: PMF has %d entries for %d satellites, want %d", len(v.PMF), n, n+1)
+	}
+	if len(v.ShellProbs) != len(d.Shells) {
+		return fmt.Errorf("validate: %d shell probabilities for %d shells", len(v.ShellProbs), len(d.Shells))
+	}
+	var sum float64
+	for k, p := range v.PMF {
+		if math.IsNaN(p) || p < -probTol || p > 1+probTol {
+			return fmt.Errorf("validate: P(K=%d) = %g outside [0, 1]", k, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("validate: Σ_k P(K=k) = %g, want 1", sum)
+	}
+	var mean float64
+	for i, p := range v.ShellProbs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("validate: shell %d visibility probability %g outside [0, 1]", i, p)
+		}
+		mean += float64(d.Shells[i].N) * p
+	}
+	if m := v.Mean(); math.Abs(m-mean) > 1e-6*(1+mean) {
+		return fmt.Errorf("validate: E[K] = %g, want Σ N_i p_i = %g", m, mean)
+	}
+	if c := v.CCDF(0); c != 1 {
+		return fmt.Errorf("validate: P(K>=0) = %g, want exactly 1", c)
+	}
+	prev := 1.0
+	for k := 1; k <= n; k++ {
+		c := v.CCDF(k)
+		if math.IsNaN(c) || c < -probTol {
+			return fmt.Errorf("validate: P(K>=%d) = %g outside [0, 1]", k, c)
+		}
+		if c > prev+probTol {
+			return fmt.Errorf("validate: P(K>=%d) = %g exceeds P(K>=%d) = %g (CCDF not nonincreasing)",
+				k, c, k-1, prev)
+		}
+		prev = c
 	}
 	return nil
 }
